@@ -1,0 +1,58 @@
+// Ablation: communication granularity (slice size) vs per-message overhead.
+//
+// Sec. III-C: communication is triggered once per slice, so tiny slices
+// maximize overlap opportunity but multiply API/posting overheads and NIC
+// message-rate pressure, while huge slices degenerate toward kernel-
+// boundary bursts. The sweep exposes the sweet spot.
+#include "bench_common.h"
+#include "fused/embedding_a2a.h"
+#include "shmem/world.h"
+
+int main() {
+  using namespace fcc;
+
+  AsciiTable t({"vectors/slice", "slices/node", "PUTs issued", "exec (us)",
+                "vs best"});
+  CsvWriter csv(fccbench::out_dir() + "/ablation_slice_size.csv",
+                {"vectors_per_slice", "exec_ns", "puts"});
+
+  struct Point {
+    int vps;
+    TimeNs dur;
+    std::int64_t puts;
+    int slices;
+  };
+  std::vector<Point> points;
+  for (int vps : {1, 4, 8, 16, 32, 64, 256, 512}) {
+    fused::EmbeddingA2AConfig cfg;
+    cfg.map.num_pes = 2;
+    cfg.map.tables_per_pe = 64;
+    cfg.map.global_batch = 1024;
+    cfg.map.dim = 256;
+    cfg.map.vectors_per_slice = vps;
+    cfg.pooling = 64;
+    cfg.functional = false;
+
+    gpu::Machine::Config mc;
+    mc.num_nodes = 2;
+    mc.gpus_per_node = 1;
+    gpu::Machine machine(mc);
+    shmem::World world(machine);
+    fused::FusedEmbeddingAllToAll op(world, cfg, nullptr);
+    const auto res = op.run_to_completion();
+    points.push_back(
+        {vps, res.duration(), world.puts_issued(), cfg.map.num_slices()});
+  }
+  TimeNs best = points.front().dur;
+  for (const auto& p : points) best = std::min(best, p.dur);
+  for (const auto& p : points) {
+    t.add_row({std::to_string(p.vps), std::to_string(p.slices),
+               std::to_string(p.puts), AsciiTable::fmt(ns_to_us(p.dur), 1),
+               AsciiTable::fmt(static_cast<double>(p.dur) / best, 3)});
+    csv.row(p.vps, p.dur, p.puts);
+  }
+  std::cout << "Ablation — slice size, inter-node fused embedding+A2A "
+               "(batch 1024, 64 tables/GPU)\n";
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// google-benchmark microbenchmarks of the simulator itself.
+//
+// The figure benches report *simulated* nanoseconds (deterministic); this
+// binary measures the wall-clock cost of producing them — event-queue
+// throughput, link arithmetic, and end-to-end operator simulation rate —
+// which is what bounds how large a sweep the harness can afford.
+#include <benchmark/benchmark.h>
+
+#include "fused/embedding_a2a.h"
+#include "fused/gemv_allreduce.h"
+#include "hw/link.h"
+#include "shmem/world.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+
+namespace {
+
+using namespace fcc;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    long sink = 0;
+    for (int i = 0; i < n; ++i) {
+      e.schedule_at(i, [&sink] { ++sink; });
+    }
+    e.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1 << 12)->Arg(1 << 16);
+
+sim::Task delay_chain(sim::Engine& e, int hops) {
+  for (int i = 0; i < hops; ++i) co_await sim::delay(e, 1);
+}
+
+void BM_CoroutineDelayChain(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    delay_chain(e, hops);
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * hops);
+}
+BENCHMARK(BM_CoroutineDelayChain)->Arg(1 << 12);
+
+void BM_LinkSubmit(benchmark::State& state) {
+  hw::Link link("l", 80.0, 700);
+  TimeNs t = 0;
+  for (auto _ : state) {
+    t = link.submit(t, 4096);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinkSubmit);
+
+void BM_FusedEmbeddingSim(benchmark::State& state) {
+  fused::EmbeddingA2AConfig cfg;
+  cfg.map.num_pes = 2;
+  cfg.map.tables_per_pe = static_cast<int>(state.range(0));
+  cfg.map.global_batch = 512;
+  cfg.map.dim = 256;
+  cfg.map.vectors_per_slice = 32;
+  cfg.pooling = 64;
+  cfg.functional = false;
+  for (auto _ : state) {
+    gpu::Machine::Config mc;
+    mc.num_nodes = 2;
+    mc.gpus_per_node = 1;
+    gpu::Machine m(mc);
+    shmem::World w(m);
+    auto r = fused::FusedEmbeddingAllToAll(w, cfg, nullptr)
+                 .run_to_completion();
+    benchmark::DoNotOptimize(r.end);
+  }
+  // Logical WGs simulated per wall second.
+  state.SetItemsProcessed(state.iterations() * cfg.map.num_logical_wgs() *
+                          cfg.map.num_pes);
+}
+BENCHMARK(BM_FusedEmbeddingSim)->Arg(16)->Arg(64);
+
+void BM_FusedGemvSim(benchmark::State& state) {
+  fused::GemvAllReduceConfig cfg;
+  cfg.m = static_cast<int>(state.range(0));
+  cfg.k_global = 8192;
+  cfg.functional = false;
+  for (auto _ : state) {
+    gpu::Machine::Config mc;
+    mc.num_nodes = 1;
+    mc.gpus_per_node = 4;
+    gpu::Machine m(mc);
+    shmem::World w(m);
+    auto r =
+        fused::FusedGemvAllReduce(w, cfg, nullptr).run_to_completion();
+    benchmark::DoNotOptimize(r.end);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FusedGemvSim)->Arg(8192)->Arg(32768);
+
+}  // namespace
+
+BENCHMARK_MAIN();

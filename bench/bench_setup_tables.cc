@@ -1,0 +1,47 @@
+// Tables I and II: the evaluation platform and the scale-out simulation
+// setup, printed from the live config structs so they cannot drift from
+// what the benches actually use.
+#include <iostream>
+
+#include "bench_common.h"
+#include "hw/gpu_spec.h"
+#include "scaleout/dlrm_training.h"
+
+int main() {
+  using namespace fcc;
+
+  hw::SystemSetup setup;
+  AsciiTable t1({"Table I", "value"});
+  t1.add_row({"GPU", setup.gpu.name + " (" + std::to_string(setup.gpu.num_cus) +
+                         " CUs, " +
+                         AsciiTable::fmt(setup.gpu.hbm_bytes_per_ns / 1000.0,
+                                         2) +
+                         " TB/s HBM)"});
+  t1.add_row({"Software", setup.software});
+  t1.add_row({"Scale-up", std::to_string(setup.scale_up_gpus) +
+                              " GPUs fully connected, fabric " +
+                              AsciiTable::fmt(setup.fabric.port_bytes_per_ns,
+                                              0) +
+                              " GB/s per port"});
+  t1.add_row({"Scale-out", std::to_string(setup.scale_out_nodes) +
+                               " nodes x1 GPU, IB " +
+                               AsciiTable::fmt(setup.ib.wire_bytes_per_ns, 0) +
+                               " GB/s"});
+  t1.print(std::cout);
+
+  scaleout::TrainingConfig cfg;
+  AsciiTable t2({"Table II", "value"});
+  t2.add_row({"Embedding dimension", std::to_string(cfg.emb_dim)});
+  t2.add_row({"MLP layers", std::to_string(cfg.mlp_layers) + " (avg size " +
+                                std::to_string(cfg.mlp_avg_width) + ")"});
+  t2.add_row({"Avg pooling size", std::to_string(cfg.pooling)});
+  const auto torus = scaleout::torus_for_nodes(cfg.num_nodes, cfg.torus);
+  t2.add_row({"Topology", "2D torus " + std::to_string(torus.dim_x) + "x" +
+                              std::to_string(torus.dim_y) + " (BW " +
+                              AsciiTable::fmt(
+                                  torus.link_bytes_per_ns * 8.0, 0) +
+                              " Gb/s, lat " +
+                              std::to_string(torus.link_latency_ns) + " ns)"});
+  t2.print(std::cout);
+  return 0;
+}

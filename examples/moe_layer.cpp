@@ -1,0 +1,123 @@
+// MoE expert layer with a user-authored fused GEMM + All-to-All kernel.
+//
+// This example shows the *second* integration path from the paper: instead
+// of calling a prebuilt framework operator, the fused kernel is authored
+// directly in the Triton-analog tile DSL with its communication
+// extensions — exactly how the paper built its GEMM+All-to-All prototype.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "gpu/machine.h"
+#include "ops/gemv.h"
+#include "shmem/flags.h"
+#include "shmem/world.h"
+#include "sim/task.h"
+#include "triton/tile_lang.h"
+
+namespace {
+
+using namespace fcc;
+
+constexpr int kExperts = 4;       // one per GPU
+constexpr int kRowsPerOrigin = 256;
+constexpr int kDModel = 512;
+constexpr int kDff = 1024;
+
+sim::Task run_kernel(sim::Engine&, triton::TileKernel& k,
+                     const triton::TileKernel::LaunchConfig& lc, bool& done) {
+  co_await k.launch(lc);
+  done = true;
+}
+
+}  // namespace
+
+int main() {
+  gpu::Machine::Config mc;
+  mc.num_nodes = 1;
+  mc.gpus_per_node = kExperts;
+  gpu::Machine machine(mc);
+  shmem::World world(machine);
+
+  ops::GemmShape shape;
+  shape.m = kExperts * kRowsPerOrigin;  // rows grouped by origin GPU
+  shape.n = kDModel;
+  shape.k = kDff;
+
+  // Expert 0's activations/weights (functional run on one expert, timing
+  // would launch on all four — see bench_fig10 for the full sweep).
+  Rng rng(77);
+  auto a = ops::random_vector(
+      static_cast<size_t>(shape.m) * static_cast<size_t>(shape.k), rng);
+  auto b = ops::random_vector(
+      static_cast<size_t>(shape.k) * static_cast<size_t>(shape.n), rng);
+  std::vector<std::vector<float>> received(
+      kExperts, std::vector<float>(static_cast<size_t>(kRowsPerOrigin) *
+                                       static_cast<size_t>(kDModel),
+                                   0.0f));
+  shmem::FlagArray arrivals(machine.engine(), kExperts, 1);
+
+  // ---- the fused kernel, authored in the DSL ----
+  triton::TileKernel kernel("moe_combine", shape,
+                            ops::kTritonGemmEfficiency);
+  auto origin_of = [](const triton::TileKernel::Ctx& ctx) {
+    return ctx.shape->row_begin(ctx.pid) / kRowsPerOrigin;
+  };
+  kernel.load_a().load_b().dot();
+  kernel.put_c_remote(
+      origin_of,
+      [&received](const triton::TileKernel::Ctx& ctx,
+                  const std::vector<float>& tile) {
+        const auto& sh = *ctx.shape;
+        const PeId origin = sh.row_begin(ctx.pid) / kRowsPerOrigin;
+        const int cols = sh.col_end(ctx.pid) - sh.col_begin(ctx.pid);
+        auto& out = received[static_cast<size_t>(origin)];
+        for (int r = sh.row_begin(ctx.pid); r < sh.row_end(ctx.pid); ++r) {
+          const int lr = r - origin * kRowsPerOrigin;
+          for (int j = 0; j < cols; ++j) {
+            out[static_cast<size_t>(lr) * kDModel +
+                static_cast<size_t>(sh.col_begin(ctx.pid) + j)] =
+                tile[static_cast<size_t>(r - sh.row_begin(ctx.pid)) * cols +
+                     static_cast<size_t>(j)];
+          }
+        }
+      });
+  kernel.fence();
+  kernel.atomic_add_remote(&arrivals, origin_of,
+                           [](const triton::TileKernel::Ctx&) { return 0u; });
+
+  triton::TileKernel::LaunchConfig lc;
+  lc.world = &world;
+  lc.pe = 0;
+  lc.policy = gpu::SchedulePolicy::kCommAware;
+  lc.functional = true;
+  lc.a = a;
+  lc.b = b;
+
+  bool done = false;
+  run_kernel(machine.engine(), kernel, lc, done);
+  machine.engine().run();
+
+  // Spot-check one returned row against the reference GEMM.
+  const auto ref = ops::gemm_reference(shape, a, b);
+  const int check_origin = 2, check_row = 5, check_col = 17;
+  const float got = received[check_origin]
+                            [static_cast<size_t>(check_row) * kDModel +
+                             check_col];
+  const float want =
+      ref[static_cast<size_t>(check_origin * kRowsPerOrigin + check_row) *
+              kDModel +
+          check_col];
+  std::printf("MoE combine (DSL-authored fused GEMM+A2A), expert 0 of %d\n",
+              kExperts);
+  std::printf("  kernel finished at t = %.1f us (simulated)\n",
+              ns_to_us(machine.engine().now()));
+  std::printf("  tiles delivered to every origin, spot check: got %.4f, "
+              "want %.4f (%s)\n",
+              got, want, std::abs(got - want) < 1e-3 ? "OK" : "MISMATCH");
+  std::printf("  fabric bytes moved: %lld\n",
+              static_cast<long long>(machine.fabric(0).total_bytes()));
+  return std::abs(got - want) < 1e-3 ? 0 : 1;
+}

@@ -1,0 +1,442 @@
+#include "ccl/communicator.h"
+
+#include <algorithm>
+
+#include "sim/task.h"
+
+namespace fcc::ccl {
+namespace {
+
+constexpr Bytes elems_to_bytes(std::int64_t n) { return n * 4; }
+
+}  // namespace
+
+Communicator::Communicator(gpu::Machine& machine, std::vector<PeId> members)
+    : machine_(machine), members_(std::move(members)) {
+  FCC_CHECK(!members_.empty());
+  for (PeId pe : members_) {
+    FCC_CHECK(pe >= 0 && pe < machine_.num_pes());
+  }
+}
+
+TimeNs Communicator::reduce_cost(Bytes bytes) const {
+  // Reads of the incoming chunks + write of the result, at aggregate HBM
+  // bandwidth (reduction kernels saturate the device).
+  const auto& dev = machine_.device(members_.front());
+  const double bw = dev.hbm().total_bandwidth(dev.spec().max_wg_slots());
+  return static_cast<TimeNs>(static_cast<double>(bytes) / bw + 0.5);
+}
+
+sim::Co Communicator::all_reduce(std::int64_t n_elems, FloatBufs bufs,
+                                 AllReduceAlgo algo) {
+  const int n = size();
+  FCC_CHECK(n_elems >= 0);
+  if (n == 1 || n_elems == 0) {
+    last_duration_ = 0;
+    co_return;
+  }
+  co_await sim::delay(machine_.engine(), kSwOverheadNs);
+  const TimeNs t0 = machine_.engine().now();
+
+  // Functional result: elementwise sum across ranks, written to every rank.
+  if (bufs.functional()) {
+    FCC_CHECK(static_cast<int>(bufs.per_rank.size()) == n);
+    std::vector<float> sum(static_cast<std::size_t>(n_elems), 0.0f);
+    for (int r = 0; r < n; ++r) {
+      auto src = bufs.rank(r);
+      FCC_CHECK(src.size() >= static_cast<std::size_t>(n_elems));
+      for (std::int64_t i = 0; i < n_elems; ++i) {
+        sum[static_cast<std::size_t>(i)] += src[static_cast<std::size_t>(i)];
+      }
+    }
+    for (int r = 0; r < n; ++r) {
+      auto dst = bufs.rank(r);
+      std::copy(sum.begin(), sum.end(), dst.begin());
+    }
+  }
+
+  TimeNs end = t0;
+  if (algo == AllReduceAlgo::kTwoPhaseDirect) {
+    // Phase 1 (reduce-scatter): rank r owns chunk r; every peer pushes its
+    // copy of chunk r to rank r.
+    const std::int64_t chunk = (n_elems + n - 1) / n;
+    const Bytes chunk_bytes = elems_to_bytes(chunk);
+    std::vector<TimeNs> phase1(static_cast<std::size_t>(n), t0);
+    for (int dst = 0; dst < n; ++dst) {
+      for (int src = 0; src < n; ++src) {
+        if (src == dst) continue;
+        const TimeNs d =
+            machine_.remote_write_time(pe(src), pe(dst), chunk_bytes, t0);
+        phase1[static_cast<std::size_t>(dst)] =
+            std::max(phase1[static_cast<std::size_t>(dst)], d);
+      }
+    }
+    // Reduce the n incoming copies of the owned chunk.
+    for (int r = 0; r < n; ++r) {
+      phase1[static_cast<std::size_t>(r)] +=
+          reduce_cost(chunk_bytes * (n - 1) + chunk_bytes);
+    }
+    // Phase 2 (all-gather): each rank broadcasts its reduced chunk.
+    std::vector<TimeNs> done(static_cast<std::size_t>(n), t0);
+    for (int src = 0; src < n; ++src) {
+      for (int dst = 0; dst < n; ++dst) {
+        if (src == dst) continue;
+        const TimeNs d = machine_.remote_write_time(
+            pe(src), pe(dst), chunk_bytes, phase1[static_cast<std::size_t>(src)]);
+        done[static_cast<std::size_t>(dst)] =
+            std::max(done[static_cast<std::size_t>(dst)], d);
+      }
+      done[static_cast<std::size_t>(src)] =
+          std::max(done[static_cast<std::size_t>(src)],
+                   phase1[static_cast<std::size_t>(src)]);
+    }
+    for (int r = 0; r < n; ++r) {
+      end = std::max(end, done[static_cast<std::size_t>(r)]);
+    }
+  } else {
+    // Ring: N-1 reduce-scatter steps + N-1 all-gather steps; each step
+    // moves one chunk per rank to its neighbour. Steps are modeled with a
+    // step barrier (the slowest link paces the ring anyway).
+    const std::int64_t chunk = (n_elems + n - 1) / n;
+    const Bytes chunk_bytes = elems_to_bytes(chunk);
+    TimeNs step_start = t0;
+    for (int step = 0; step < 2 * (n - 1); ++step) {
+      TimeNs step_end = step_start;
+      for (int r = 0; r < n; ++r) {
+        const int next = (r + 1) % n;
+        TimeNs d = machine_.remote_write_time(pe(r), pe(next), chunk_bytes,
+                                              step_start);
+        if (step < n - 1) d += reduce_cost(2 * chunk_bytes);
+        step_end = std::max(step_end, d);
+      }
+      step_start = step_end;
+    }
+    end = step_start;
+  }
+
+  last_duration_ = end - t0 + kSwOverheadNs;
+  co_await sim::delay_until(machine_.engine(), end);
+}
+
+sim::Co Communicator::all_to_all(std::int64_t chunk_elems, FloatBufs send,
+                                 FloatBufs recv) {
+  co_await sim::delay(machine_.engine(), kSwOverheadNs);
+  const TimeNs t0 = machine_.engine().now();
+  const int n = size();
+  const Bytes chunk_bytes = elems_to_bytes(chunk_elems);
+
+  if (send.functional()) {
+    FCC_CHECK(recv.functional());
+    FCC_CHECK(static_cast<int>(send.per_rank.size()) == n);
+    FCC_CHECK(static_cast<int>(recv.per_rank.size()) == n);
+    for (int s = 0; s < n; ++s) {
+      for (int d = 0; d < n; ++d) {
+        auto src = send.rank(s);
+        auto dst = recv.rank(d);
+        FCC_CHECK(src.size() >=
+                  static_cast<std::size_t>(n) *
+                      static_cast<std::size_t>(chunk_elems));
+        for (std::int64_t i = 0; i < chunk_elems; ++i) {
+          dst[static_cast<std::size_t>(s * chunk_elems + i)] =
+              src[static_cast<std::size_t>(d * chunk_elems + i)];
+        }
+      }
+    }
+  }
+
+  // Pairwise exchange in balanced rounds: round r pairs every source s
+  // with destination (s + r) % n, so each round touches disjoint
+  // egress/ingress ports and rounds pipeline back-to-back (the schedule
+  // RCCL's pairwise All-to-All uses).
+  TimeNs end = t0;
+  for (int round = 1; round < n; ++round) {
+    for (int s = 0; s < n; ++s) {
+      const int d = (s + round) % n;
+      end = std::max(end, machine_.remote_write_time(pe(s), pe(d),
+                                                     chunk_bytes, t0));
+    }
+  }
+  end = std::max(end, t0 + reduce_cost(2 * chunk_bytes));  // local copy
+  last_duration_ = end - t0 + kSwOverheadNs;
+  co_await sim::delay_until(machine_.engine(), end);
+}
+
+sim::Co Communicator::reduce_scatter(std::int64_t chunk_elems,
+                                     FloatBufs bufs) {
+  co_await sim::delay(machine_.engine(), kSwOverheadNs);
+  const TimeNs t0 = machine_.engine().now();
+  const int n = size();
+  const Bytes chunk_bytes = elems_to_bytes(chunk_elems);
+
+  if (bufs.functional()) {
+    FCC_CHECK(static_cast<int>(bufs.per_rank.size()) == n);
+    std::vector<std::vector<float>> reduced(
+        static_cast<std::size_t>(n),
+        std::vector<float>(static_cast<std::size_t>(chunk_elems), 0.0f));
+    for (int r = 0; r < n; ++r) {
+      auto src = bufs.rank(r);
+      FCC_CHECK(src.size() >= static_cast<std::size_t>(n) *
+                                  static_cast<std::size_t>(chunk_elems));
+      for (int c = 0; c < n; ++c) {
+        for (std::int64_t i = 0; i < chunk_elems; ++i) {
+          reduced[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)] +=
+              src[static_cast<std::size_t>(c * chunk_elems + i)];
+        }
+      }
+    }
+    for (int r = 0; r < n; ++r) {
+      auto dst = bufs.rank(r);
+      std::copy(reduced[static_cast<std::size_t>(r)].begin(),
+                reduced[static_cast<std::size_t>(r)].end(), dst.begin());
+    }
+  }
+
+  TimeNs end = t0;
+  for (int dst = 0; dst < n; ++dst) {
+    TimeNs arrive = t0;
+    for (int src = 0; src < n; ++src) {
+      if (src == dst) continue;
+      arrive = std::max(arrive, machine_.remote_write_time(
+                                    pe(src), pe(dst), chunk_bytes, t0));
+    }
+    end = std::max(end, arrive + reduce_cost(chunk_bytes * n));
+  }
+  last_duration_ = end - t0 + kSwOverheadNs;
+  co_await sim::delay_until(machine_.engine(), end);
+}
+
+sim::Co Communicator::all_gather(std::int64_t chunk_elems, FloatBufs bufs) {
+  co_await sim::delay(machine_.engine(), kSwOverheadNs);
+  const TimeNs t0 = machine_.engine().now();
+  const int n = size();
+  const Bytes chunk_bytes = elems_to_bytes(chunk_elems);
+
+  if (bufs.functional()) {
+    FCC_CHECK(static_cast<int>(bufs.per_rank.size()) == n);
+    // Rank r's own chunk lives at offset r*chunk_elems already; replicate
+    // it into every peer's buffer.
+    for (int src = 0; src < n; ++src) {
+      auto s = bufs.rank(src);
+      for (int dst = 0; dst < n; ++dst) {
+        if (src == dst) continue;
+        auto d = bufs.rank(dst);
+        for (std::int64_t i = 0; i < chunk_elems; ++i) {
+          d[static_cast<std::size_t>(src * chunk_elems + i)] =
+              s[static_cast<std::size_t>(src * chunk_elems + i)];
+        }
+      }
+    }
+  }
+
+  TimeNs end = t0;
+  for (int round = 1; round < n; ++round) {
+    for (int src = 0; src < n; ++src) {
+      const int dst = (src + round) % n;
+      end = std::max(end, machine_.remote_write_time(pe(src), pe(dst),
+                                                     chunk_bytes, t0));
+    }
+  }
+  last_duration_ = end - t0 + kSwOverheadNs;
+  co_await sim::delay_until(machine_.engine(), end);
+}
+
+sim::Co Communicator::broadcast(std::int64_t n_elems, int root,
+                                FloatBufs bufs) {
+  const TimeNs t0 = machine_.engine().now();
+  const int n = size();
+  FCC_CHECK(root >= 0 && root < n);
+  const Bytes bytes = elems_to_bytes(n_elems);
+
+  if (bufs.functional()) {
+    FCC_CHECK(static_cast<int>(bufs.per_rank.size()) == n);
+    auto src = bufs.rank(root);
+    for (int dst = 0; dst < n; ++dst) {
+      if (dst == root) continue;
+      auto d = bufs.rank(dst);
+      std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(n_elems),
+                d.begin());
+    }
+  }
+
+  TimeNs end = t0;
+  for (int dst = 0; dst < n; ++dst) {
+    if (dst == root) continue;
+    end = std::max(end,
+                   machine_.remote_write_time(pe(root), pe(dst), bytes, t0));
+  }
+  last_duration_ = end - t0 + kSwOverheadNs;
+  co_await sim::delay_until(machine_.engine(), end);
+}
+
+}  // namespace fcc::ccl
+
+namespace fcc::ccl {
+
+sim::Co Communicator::all_to_all_v(const std::vector<std::int64_t>& counts,
+                                   FloatBufs send, FloatBufs recv) {
+  const int n = size();
+  FCC_CHECK(static_cast<int>(counts.size()) == n * n);
+  co_await sim::delay(machine_.engine(), kSwOverheadNs);
+  const TimeNs t0 = machine_.engine().now();
+
+  auto count = [&](int src, int dst) {
+    return counts[static_cast<std::size_t>(src * n + dst)];
+  };
+  // Segment offsets: send side destination-major, recv side source-major.
+  auto send_offset = [&](int src, int dst) {
+    std::int64_t off = 0;
+    for (int d = 0; d < dst; ++d) off += count(src, d);
+    return off;
+  };
+  auto recv_offset = [&](int dst, int src) {
+    std::int64_t off = 0;
+    for (int s = 0; s < src; ++s) off += count(s, dst);
+    return off;
+  };
+
+  if (send.functional()) {
+    FCC_CHECK(recv.functional());
+    for (int s = 0; s < n; ++s) {
+      for (int d = 0; d < n; ++d) {
+        auto src = send.rank(s);
+        auto dst = recv.rank(d);
+        const std::int64_t c = count(s, d);
+        const std::int64_t so = send_offset(s, d);
+        const std::int64_t ro = recv_offset(d, s);
+        FCC_CHECK(static_cast<std::int64_t>(src.size()) >= so + c);
+        FCC_CHECK(static_cast<std::int64_t>(dst.size()) >= ro + c);
+        for (std::int64_t i = 0; i < c; ++i) {
+          dst[static_cast<std::size_t>(ro + i)] =
+              src[static_cast<std::size_t>(so + i)];
+        }
+      }
+    }
+  }
+
+  TimeNs end = t0;
+  for (int round = 1; round < n; ++round) {
+    for (int s = 0; s < n; ++s) {
+      const int d = (s + round) % n;
+      const Bytes bytes = count(s, d) * 4;
+      if (bytes == 0) continue;
+      end = std::max(end,
+                     machine_.remote_write_time(pe(s), pe(d), bytes, t0));
+    }
+  }
+  // Local segments are HBM copies.
+  for (int r = 0; r < n; ++r) {
+    end = std::max(end, t0 + reduce_cost(2 * count(r, r) * 4));
+  }
+  last_duration_ = end - t0 + kSwOverheadNs;
+  co_await sim::delay_until(machine_.engine(), end);
+}
+
+sim::Co Communicator::gather(std::int64_t chunk_elems, int root,
+                             FloatBufs bufs) {
+  const int n = size();
+  FCC_CHECK(root >= 0 && root < n);
+  co_await sim::delay(machine_.engine(), kSwOverheadNs);
+  const TimeNs t0 = machine_.engine().now();
+  const Bytes chunk_bytes = chunk_elems * 4;
+
+  if (bufs.functional()) {
+    FCC_CHECK(static_cast<int>(bufs.per_rank.size()) == n);
+    auto dst = bufs.rank(root);
+    for (int src = 0; src < n; ++src) {
+      if (src == root) continue;
+      auto s = bufs.rank(src);
+      for (std::int64_t i = 0; i < chunk_elems; ++i) {
+        dst[static_cast<std::size_t>(src * chunk_elems + i)] =
+            s[static_cast<std::size_t>(src * chunk_elems + i)];
+      }
+    }
+  }
+
+  TimeNs end = t0;
+  for (int src = 0; src < n; ++src) {
+    if (src == root) continue;
+    end = std::max(end, machine_.remote_write_time(pe(src), pe(root),
+                                                   chunk_bytes, t0));
+  }
+  last_duration_ = end - t0 + kSwOverheadNs;
+  co_await sim::delay_until(machine_.engine(), end);
+}
+
+sim::Co Communicator::scatter(std::int64_t chunk_elems, int root,
+                              FloatBufs bufs) {
+  const int n = size();
+  FCC_CHECK(root >= 0 && root < n);
+  co_await sim::delay(machine_.engine(), kSwOverheadNs);
+  const TimeNs t0 = machine_.engine().now();
+  const Bytes chunk_bytes = chunk_elems * 4;
+
+  if (bufs.functional()) {
+    FCC_CHECK(static_cast<int>(bufs.per_rank.size()) == n);
+    auto src = bufs.rank(root);
+    for (int dst = 0; dst < n; ++dst) {
+      if (dst == root) continue;
+      auto d = bufs.rank(dst);
+      for (std::int64_t i = 0; i < chunk_elems; ++i) {
+        d[static_cast<std::size_t>(i)] =
+            src[static_cast<std::size_t>(dst * chunk_elems + i)];
+      }
+    }
+  }
+
+  TimeNs end = t0;
+  for (int dst = 0; dst < n; ++dst) {
+    if (dst == root) continue;
+    end = std::max(end, machine_.remote_write_time(pe(root), pe(dst),
+                                                   chunk_bytes, t0));
+  }
+  last_duration_ = end - t0 + kSwOverheadNs;
+  co_await sim::delay_until(machine_.engine(), end);
+}
+
+sim::Co Communicator::reduce(std::int64_t n_elems, int root, FloatBufs bufs) {
+  const int n = size();
+  FCC_CHECK(root >= 0 && root < n);
+  co_await sim::delay(machine_.engine(), kSwOverheadNs);
+  const TimeNs t0 = machine_.engine().now();
+  const Bytes bytes = n_elems * 4;
+
+  if (bufs.functional()) {
+    FCC_CHECK(static_cast<int>(bufs.per_rank.size()) == n);
+    auto dst = bufs.rank(root);
+    for (int src = 0; src < n; ++src) {
+      if (src == root) continue;
+      auto s = bufs.rank(src);
+      for (std::int64_t i = 0; i < n_elems; ++i) {
+        dst[static_cast<std::size_t>(i)] += s[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+
+  TimeNs end = t0;
+  for (int src = 0; src < n; ++src) {
+    if (src == root) continue;
+    end = std::max(end, machine_.remote_write_time(pe(src), pe(root),
+                                                   bytes, t0));
+  }
+  end += reduce_cost(bytes * n);
+  last_duration_ = end - t0 + kSwOverheadNs;
+  co_await sim::delay_until(machine_.engine(), end);
+}
+
+sim::Co Communicator::barrier() {
+  const int n = size();
+  co_await sim::delay(machine_.engine(), kSwOverheadNs);
+  const TimeNs t0 = machine_.engine().now();
+  // Direct dissemination: every rank signals every other (8-byte flags).
+  TimeNs end = t0;
+  for (int round = 1; round < n; ++round) {
+    for (int s = 0; s < n; ++s) {
+      const int d = (s + round) % n;
+      end = std::max(end, machine_.remote_write_time(pe(s), pe(d), 8, t0));
+    }
+  }
+  last_duration_ = end - t0 + kSwOverheadNs;
+  co_await sim::delay_until(machine_.engine(), end);
+}
+
+}  // namespace fcc::ccl

@@ -1,0 +1,104 @@
+// Bulk-synchronous collective library (RCCL analog) — the paper's baseline.
+//
+// Collectives run as device-wide "blit kernels": all transfers for a phase
+// are issued when the phase starts, the phase ends when the slowest rank's
+// data lands, and reduction math is charged at aggregate HBM bandwidth.
+// Kernel-launch/synchronization overheads are charged by the caller's
+// Stream (exactly where the real RCCL pays them); the collectives here model
+// data movement.
+//
+// Functional mode: pass per-rank float spans; values are verified against
+// references in tests. Timing-only mode: pass empty FloatBufs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "gpu/machine.h"
+#include "sim/co.h"
+
+namespace fcc::ccl {
+
+enum class AllReduceAlgo {
+  kTwoPhaseDirect,  // reduce-scatter + all-gather, direct peer writes [32]
+  kRing,            // 2(N-1)-step ring
+};
+
+/// Per-rank float buffers; empty vector means timing-only.
+struct FloatBufs {
+  std::vector<std::span<float>> per_rank;
+
+  bool functional() const { return !per_rank.empty(); }
+  std::span<float> rank(int r) { return per_rank.at(static_cast<std::size_t>(r)); }
+};
+
+class Communicator {
+ public:
+  Communicator(gpu::Machine& machine, std::vector<PeId> members);
+
+  int size() const { return static_cast<int>(members_.size()); }
+  PeId pe(int rank) const { return members_.at(static_cast<std::size_t>(rank)); }
+  gpu::Machine& machine() { return machine_; }
+
+  /// In-place sum-AllReduce over `n_elems` fp32 per rank.
+  sim::Co all_reduce(std::int64_t n_elems, FloatBufs bufs,
+                     AllReduceAlgo algo = AllReduceAlgo::kTwoPhaseDirect);
+
+  /// All-to-All: each rank sends `chunk_elems` fp32 to every rank (including
+  /// its own local chunk copy). send/recv layout: rank-major chunks —
+  /// send[r] holds N chunks ordered by destination, recv[r] by source.
+  sim::Co all_to_all(std::int64_t chunk_elems, FloatBufs send, FloatBufs recv);
+
+  /// ReduceScatter: after completion rank r holds the sum of everyone's
+  /// r-th chunk in the first `chunk_elems` of its buffer.
+  sim::Co reduce_scatter(std::int64_t chunk_elems, FloatBufs bufs);
+
+  /// AllGather of `chunk_elems` fp32 from each rank into every rank's
+  /// buffer (size N * chunk_elems, source-major).
+  sim::Co all_gather(std::int64_t chunk_elems, FloatBufs bufs);
+
+  /// Broadcast `n_elems` from `root` to all ranks.
+  sim::Co broadcast(std::int64_t n_elems, int root, FloatBufs bufs);
+
+  /// Variable All-to-All (MoE dispatch with uneven routing): rank s sends
+  /// counts[s][d] fp32 to rank d. Send layout: destination-major segments
+  /// in counts order; recv layout: source-major segments. `counts` is
+  /// indexed [src * n + dst].
+  sim::Co all_to_all_v(const std::vector<std::int64_t>& counts,
+                       FloatBufs send, FloatBufs recv);
+
+  /// Gather `chunk_elems` from every rank to `root` (source-major layout
+  /// in root's buffer).
+  sim::Co gather(std::int64_t chunk_elems, int root, FloatBufs bufs);
+
+  /// Scatter `chunk_elems` per rank from `root` (destination-major layout
+  /// in root's buffer) into each rank's first chunk.
+  sim::Co scatter(std::int64_t chunk_elems, int root, FloatBufs bufs);
+
+  /// Sum-reduce `n_elems` to `root` only.
+  sim::Co reduce(std::int64_t n_elems, int root, FloatBufs bufs);
+
+  /// Bulk-synchronous barrier (direct signal exchange).
+  sim::Co barrier();
+
+  /// Wall-to-wall time of the last completed collective (simulated ns).
+  TimeNs last_duration() const { return last_duration_; }
+
+  /// Software latency floor of one library collective (protocol setup,
+  /// proxy/grid coordination) — RCCL-class collectives pay tens of
+  /// microseconds even for tiny messages; charged once per collective.
+  static constexpr TimeNs kSwOverheadNs = 10000;
+
+ private:
+  /// Time to reduce `bytes` through HBM at device-aggregate bandwidth.
+  TimeNs reduce_cost(Bytes bytes) const;
+
+  gpu::Machine& machine_;
+  std::vector<PeId> members_;
+  TimeNs last_duration_ = 0;
+};
+
+}  // namespace fcc::ccl

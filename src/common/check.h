@@ -1,0 +1,50 @@
+// Lightweight invariant-checking macros.
+//
+// FCC_CHECK is always on (simulation correctness depends on these holding;
+// the cost is negligible next to event processing). FCC_DCHECK compiles out
+// in release builds and is used on hot per-event paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fcc::detail {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace fcc::detail
+
+#define FCC_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::fcc::detail::check_failed(__FILE__, __LINE__, #expr, "");    \
+    }                                                                \
+  } while (0)
+
+#define FCC_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream fcc_check_os_;                              \
+      fcc_check_os_ << msg;                                          \
+      ::fcc::detail::check_failed(__FILE__, __LINE__, #expr,         \
+                                  fcc_check_os_.str());              \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define FCC_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define FCC_DCHECK(expr) FCC_CHECK(expr)
+#endif

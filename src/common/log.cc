@@ -1,0 +1,18 @@
+#include "common/log.h"
+
+#include <atomic>
+
+namespace fcc {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+}  // namespace fcc

@@ -1,0 +1,64 @@
+// Minimal leveled logger.
+//
+// Logging is for humans debugging the simulator; benches and tests keep the
+// default level at Warn so output stays parseable.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace fcc {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view tag) : level_(level) {
+    os_ << "[" << name(level) << "] " << tag << ": ";
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (level_ >= log_level()) {
+      os_ << "\n";
+      std::cerr << os_.str();
+    }
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  static constexpr std::string_view name(LogLevel l) {
+    switch (l) {
+      case LogLevel::kTrace: return "TRACE";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO ";
+      case LogLevel::kWarn: return "WARN ";
+      case LogLevel::kError: return "ERROR";
+      default: return "?";
+    }
+  }
+
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+#define FCC_LOG(level, tag)                                       \
+  if (::fcc::LogLevel::level < ::fcc::log_level()) {              \
+  } else                                                          \
+    ::fcc::detail::LogLine(::fcc::LogLevel::level, (tag))
+
+}  // namespace fcc

@@ -1,0 +1,46 @@
+// Small integer/float helpers used across modules.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace fcc {
+
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  FCC_DCHECK(b > 0);
+  return (a + b - 1) / b;
+}
+
+template <typename T>
+constexpr T align_up(T v, T alignment) {
+  FCC_DCHECK(alignment > 0);
+  return ceil_div(v, alignment) * alignment;
+}
+
+template <typename T>
+constexpr bool is_pow2(T v) {
+  return v > 0 && (v & (v - 1)) == 0;
+}
+
+/// Number of set bits in a 64-bit mask (used by WG-done bitmask logic).
+constexpr int popcount64(std::uint64_t v) {
+  int c = 0;
+  while (v) {
+    v &= v - 1;
+    ++c;
+  }
+  return c;
+}
+
+/// Relative difference |a-b| / max(|a|,|b|,eps); convenient for tolerant
+/// float comparison in tests and experiment reports.
+inline double rel_diff(double a, double b, double eps = 1e-12) {
+  const double denom = std::max({std::abs(a), std::abs(b), eps});
+  return std::abs(a - b) / denom;
+}
+
+}  // namespace fcc

@@ -1,0 +1,141 @@
+// Deterministic pseudo-random generators.
+//
+// SplitMix64 seeds Xoshiro256**; both are tiny, fast, and give the library a
+// stable stream independent of the standard library implementation, which
+// matters because experiment outputs must be bit-reproducible across
+// platforms and toolchains.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace fcc {
+
+/// SplitMix64: used for seeding and cheap hashing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** — the library-wide PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) {
+    FCC_DCHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    FCC_DCHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + next_double() * (hi - lo);
+  }
+
+  /// Derives an independent child stream (for per-entity RNGs).
+  Rng fork() { return Rng(next_u64() ^ 0xa02b'dbf7'bb3c'0a7ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Zipf(θ) sampler over [0, n) using the Gray/Jain approximation; used by the
+/// DLRM data generator to model skewed categorical-feature popularity.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double theta, Rng rng)
+      : n_(n), theta_(theta), rng_(rng) {
+    FCC_CHECK(n >= 1);
+    zeta2_ = zeta(2, theta);
+    zetan_ = zeta(n, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  std::uint64_t next() {
+    const double u = rng_.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto v = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+  }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0;
+    // Exact for small n; sampled tail approximation keeps construction cheap
+    // for the multi-million-row tables used in benches.
+    const std::uint64_t exact = n < 10000 ? n : 10000;
+    for (std::uint64_t i = 1; i <= exact; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    if (exact < n) {
+      // Integral approximation of the remaining tail.
+      const double a = static_cast<double>(exact);
+      const double b = static_cast<double>(n);
+      sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) /
+             (1.0 - theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  Rng rng_;
+  double zeta2_ = 0, zetan_ = 0, alpha_ = 0, eta_ = 0;
+};
+
+}  // namespace fcc

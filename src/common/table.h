@@ -1,0 +1,67 @@
+// ASCII table printer for bench output.
+//
+// Benches print paper-style result tables; keeping the formatter here means
+// every figure's output looks the same and is easy to diff/grep.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fcc {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    FCC_CHECK_MSG(cells.size() == headers_.size(),
+                  "row width " << cells.size() << " != header width "
+                               << headers_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Formats a double with the given precision; convenience for callers.
+  static std::string fmt(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+    }
+    auto rule = [&] {
+      os << "+";
+      for (auto w : widths) os << std::string(w + 2, '-') << "+";
+      os << "\n";
+    };
+    auto line = [&](const std::vector<std::string>& cells) {
+      os << "|";
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        os << " " << std::left << std::setw(static_cast<int>(widths[c]))
+           << cells[c] << " |";
+      }
+      os << "\n";
+    };
+    rule();
+    line(headers_);
+    rule();
+    for (const auto& row : rows_) line(row);
+    rule();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fcc

@@ -1,0 +1,108 @@
+// Framework integration layer (PyTorch-operator analog, Sec. III-D).
+//
+// A Session bundles the simulated platform (Machine + shmem World) behind
+// the kind of API an ML framework exposes: symmetric-tensor allocation
+// (`torch.tensor.to(symmetric_device)` analog) and the fused operators as
+// named framework ops (`torch.embeddingAll2AllOp()` analog). The registry
+// maps operator names to dispatch entries so a graph transformation pass
+// can swap `embedding` + `all_to_all` nodes for `fused::embedding_a2a`.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fused/embedding_a2a.h"
+#include "fused/gemm_a2a.h"
+#include "fused/gemv_allreduce.h"
+#include "gpu/machine.h"
+#include "shmem/sym_array.h"
+#include "shmem/world.h"
+
+namespace fcc::fw {
+
+enum class Backend {
+  kFused,     // GPU-initiated intra-kernel communication
+  kBaseline,  // bulk-synchronous kernels + ccl collectives
+};
+
+class Session {
+ public:
+  explicit Session(const gpu::Machine::Config& config)
+      : machine_(config), world_(machine_) {}
+
+  gpu::Machine& machine() { return machine_; }
+  shmem::World& world() { return world_; }
+  int num_pes() const { return machine_.num_pes(); }
+
+  /// Allocates a float tensor in every PE's symmetric heap
+  /// (roc_shmem_malloc + tensor.to(device) analog).
+  std::unique_ptr<shmem::SymArray<float>> symmetric_empty(
+      std::size_t elems, bool functional = true) {
+    return std::make_unique<shmem::SymArray<float>>(machine_.num_pes(), elems,
+                                                    functional);
+  }
+
+  // ---- fused operators exposed as framework ops ----
+
+  fused::OperatorResult embedding_all_to_all(
+      const fused::EmbeddingA2AConfig& cfg, fused::EmbeddingA2AData* data,
+      Backend backend = Backend::kFused) {
+    if (backend == Backend::kFused) {
+      return fused::FusedEmbeddingAllToAll(world_, cfg, data)
+          .run_to_completion();
+    }
+    return fused::BaselineEmbeddingAllToAll(world_, cfg, data)
+        .run_to_completion();
+  }
+
+  fused::OperatorResult gemv_all_reduce(
+      const fused::GemvAllReduceConfig& cfg, fused::GemvAllReduceData* data,
+      Backend backend = Backend::kFused) {
+    if (backend == Backend::kFused) {
+      return fused::FusedGemvAllReduce(world_, cfg, data).run_to_completion();
+    }
+    return fused::BaselineGemvAllReduce(world_, cfg, data).run_to_completion();
+  }
+
+  fused::OperatorResult gemm_all_to_all(
+      const fused::GemmA2AConfig& cfg, fused::GemmA2AData* data,
+      Backend backend = Backend::kFused) {
+    if (backend == Backend::kFused) {
+      return fused::FusedGemmAllToAll(world_, cfg, data).run_to_completion();
+    }
+    return fused::BaselineGemmAllToAll(world_, cfg, data).run_to_completion();
+  }
+
+ private:
+  gpu::Machine machine_;
+  shmem::World world_;
+};
+
+/// Operator-registry entry: dispatches one named op on a session.
+struct OpEntry {
+  std::string name;
+  std::string replaces;  // the op pattern a graph pass would rewrite
+  std::function<fused::OperatorResult(Session&, Backend)> invoke;
+};
+
+/// Name -> operator registry (the "new PyTorch operator" table). Callers
+/// register closures over their configs/data, then dispatch by name —
+/// mirroring how a compiled graph invokes custom ops.
+class OpRegistry {
+ public:
+  void register_op(OpEntry entry);
+  bool contains(const std::string& name) const;
+  const OpEntry& at(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  fused::OperatorResult run(const std::string& name, Session& session,
+                            Backend backend) const;
+
+ private:
+  std::map<std::string, OpEntry> ops_;
+};
+
+}  // namespace fcc::fw

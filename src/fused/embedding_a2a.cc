@@ -1,0 +1,495 @@
+#include "fused/embedding_a2a.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "gpu/stream.h"
+#include "sim/task.h"
+
+namespace fcc::fused {
+namespace {
+
+/// Watches one kernel run and records its completion time.
+sim::Task watch_completion(sim::Engine& engine, gpu::KernelRun& run,
+                           TimeNs& out) {
+  co_await run.wait();
+  out = engine.now();
+}
+
+std::vector<PeId> all_pes(gpu::Machine& m) {
+  std::vector<PeId> v;
+  for (PeId p = 0; p < m.num_pes(); ++p) v.push_back(p);
+  return v;
+}
+
+}  // namespace
+
+double OperatorResult::skew() const {
+  if (pe_end.empty()) return 0.0;
+  const TimeNs hi = *std::max_element(pe_end.begin(), pe_end.end());
+  const TimeNs lo = *std::min_element(pe_end.begin(), pe_end.end());
+  if (hi <= start) return 0.0;
+  return static_cast<double>(hi - lo) / static_cast<double>(hi - start);
+}
+
+EmbeddingA2AData EmbeddingA2AData::random(const EmbeddingA2AConfig& cfg,
+                                          shmem::SymArray<float>* out,
+                                          std::uint64_t seed) {
+  EmbeddingA2AData d;
+  d.output = out;
+  Rng rng(seed);
+  const auto emb = cfg.emb_config();
+  const int pes = cfg.map.num_pes;
+  for (int pe = 0; pe < pes; ++pe) {
+    d.tables.push_back(ops::EmbeddingTables::random(emb, rng));
+    d.batches.push_back(
+        ops::EmbeddingBatch::uniform(emb, cfg.map.global_batch, rng));
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Fused operator
+// ---------------------------------------------------------------------------
+
+gpu::KernelResources FusedEmbeddingAllToAll::fused_resources() {
+  gpu::KernelResources r;
+  r.threads_per_wg = 256;
+  r.vgprs_per_thread = 128 + gpu::kShmemCtxVgprsPerThread;
+  return r;
+}
+
+FusedEmbeddingAllToAll::FusedEmbeddingAllToAll(shmem::World& world,
+                                               EmbeddingA2AConfig cfg,
+                                               EmbeddingA2AData* data)
+    : world_(world), cfg_(std::move(cfg)), data_(data) {
+  cfg_.map.validate();
+  FCC_CHECK(cfg_.map.num_pes == world_.n_pes());
+  if (cfg_.functional) {
+    FCC_CHECK_MSG(data_ != nullptr && data_->output != nullptr,
+                  "functional mode needs EmbeddingA2AData");
+  }
+  const auto& spec = world_.machine().device(0).spec();
+  if (cfg_.occupancy_slots_override > 0) {
+    slots_per_pe_ = cfg_.occupancy_slots_override;
+  } else {
+    // Launch at the lesser of the occupancy limit and the HBM-contention
+    // knee: Fig. 13 shows the memory-intensive fused kernel degrades past
+    // ~75% occupancy, so the persistent grid is tuned to the knee.
+    const int limit = gpu::max_active_wgs(spec, fused_resources());
+    const int knee = static_cast<int>(spec.max_wg_slots() *
+                                      ops::kFusedEmbeddingCurve.knee_frac);
+    slots_per_pe_ = std::min(limit, knee);
+  }
+  FCC_CHECK(slots_per_pe_ >= 1);
+}
+
+std::size_t FusedEmbeddingAllToAll::flag_index(PeId src, int table,
+                                               int group) const {
+  const auto& map = cfg_.map;
+  return (static_cast<std::size_t>(src) * map.tables_per_pe +
+          static_cast<std::size_t>(table)) *
+             static_cast<std::size_t>(map.slices_per_dest_per_table()) +
+         static_cast<std::size_t>(group);
+}
+
+sim::Co FusedEmbeddingAllToAll::run() {
+  auto& machine = world_.machine();
+  auto& engine = machine.engine();
+  const auto& map = cfg_.map;
+  const int pes = map.num_pes;
+  const auto& spec = machine.device(0).spec();
+
+  // Reset per-run state.
+  wg_done_.assign(static_cast<std::size_t>(pes),
+                  std::vector<shmem::WgDoneMask>(
+                      static_cast<std::size_t>(map.num_slices()),
+                      shmem::WgDoneMask(map.wgs_per_slice())));
+  slice_rdy_ = std::make_unique<shmem::FlagArray>(
+      engine, pes, static_cast<std::size_t>(map.num_slices()));
+  if (cfg_.functional) {
+    stage_.assign(static_cast<std::size_t>(pes),
+                  std::vector<std::vector<float>>(
+                      static_cast<std::size_t>(map.num_slices())));
+  }
+  runs_.clear();
+  result_ = OperatorResult{};
+  result_.start = engine.now();
+  result_.pe_end.assign(static_cast<std::size_t>(pes), 0);
+
+  // One persistent-kernel launch per PE.
+  co_await sim::delay(engine, spec.kernel_launch_ns);
+
+  for (PeId pe = 0; pe < pes; ++pe) {
+    gpu::KernelRun::Params p;
+    p.name = "fused_emb_a2a";
+    p.num_slots = slots_per_pe_;
+    p.order = gpu::make_schedule(
+        map.num_logical_wgs(), cfg_.policy,
+        [&map, pe](int lw) { return map.wg_is_remote(pe, lw); });
+    p.body = [this, pe](int slot, int lw) { return pe_kernel_wg(pe, slot, lw); };
+    p.epilogue = [this, pe](int slot) { return pe_epilogue(pe, slot); };
+    runs_.push_back(std::make_unique<gpu::KernelRun>(engine, std::move(p)));
+  }
+  for (PeId pe = 0; pe < pes; ++pe) {
+    runs_[static_cast<std::size_t>(pe)]->start();
+    watch_completion(engine, *runs_[static_cast<std::size_t>(pe)],
+                     result_.pe_end[static_cast<std::size_t>(pe)]);
+  }
+  for (PeId pe = 0; pe < pes; ++pe) {
+    co_await runs_[static_cast<std::size_t>(pe)]->wait();
+  }
+
+  // Host observes completion via one stream sync.
+  co_await sim::delay(engine, spec.stream_sync_ns);
+  result_.end = engine.now();
+}
+
+sim::Co FusedEmbeddingAllToAll::pe_kernel_wg(PeId pe, int slot, int lw) {
+  auto& machine = world_.machine();
+  auto& dev = machine.device(pe);
+  const auto& map = cfg_.map;
+  const int t = map.wg_table(lw);
+  const int b = map.wg_sample(lw);
+  const PeId dest = map.dest_of_sample(b);
+  const bool remote = dest != pe;
+  const bool zero_copy = remote && machine.same_node(pe, dest) && cfg_.zero_copy;
+  // Local outputs and RDMA staging write to HBM; zero-copy remote stores
+  // ride the fabric instead (no local write).
+  const bool local_write = !zero_copy;
+
+  const TimeNs t_begin = machine.engine().now();
+  co_await dev.compute(ops::embedding_wg_cost(
+      cfg_.pooling, map.dim, local_write, ops::kFusedEmbeddingCurve));
+
+  std::vector<float> vec;
+  if (cfg_.functional) {
+    vec.resize(static_cast<std::size_t>(map.dim));
+    ops::pool_reference(cfg_.emb_config(),
+                        data_->tables[static_cast<std::size_t>(pe)],
+                        data_->batches[static_cast<std::size_t>(pe)], t, b,
+                        vec);
+    if (!remote) {
+      auto out = data_->output->pe(pe);
+      const int lb = b % map.local_batch();
+      const int gt = map.global_table(pe, t);
+      for (int c = 0; c < map.dim; ++c) {
+        out[map.dest_offset(lb, gt, c)] = vec[static_cast<std::size_t>(c)];
+      }
+    } else if (!zero_copy) {
+      auto& st = stage_[static_cast<std::size_t>(pe)]
+                       [static_cast<std::size_t>(map.slice_of_wg(lw))];
+      if (st.empty()) {
+        st.resize(static_cast<std::size_t>(map.vectors_per_slice) *
+                  static_cast<std::size_t>(map.dim));
+      }
+      const std::size_t lane_off =
+          static_cast<std::size_t>(map.lane_in_slice(lw)) *
+          static_cast<std::size_t>(map.dim);
+      std::copy(vec.begin(), vec.end(), st.begin() + static_cast<std::ptrdiff_t>(lane_off));
+    }
+  }
+
+  if (zero_copy) {
+    // Scale-up path: this WG's threads store the vector straight into the
+    // destination GPU's output buffer.
+    std::function<void()> deliver;
+    if (cfg_.functional) {
+      auto* out = data_->output;
+      const int lb = b % map.local_batch();
+      const int gt = map.global_table(pe, t);
+      deliver = [out, dest, lb, gt, map = cfg_.map, v = std::move(vec)] {
+        auto o = out->pe(dest);
+        for (int c = 0; c < map.dim; ++c) {
+          o[map.dest_offset(lb, gt, c)] = v[static_cast<std::size_t>(c)];
+        }
+      };
+    }
+    co_await world_.put_nbi(pe, dest,
+                            static_cast<Bytes>(map.dim) * 4,
+                            shmem::World::IssueKind::kStore,
+                            std::move(deliver));
+  }
+
+  if (cfg_.emit_trace && machine.trace().enabled()) {
+    machine.trace().add_span({"wg", "compute", pe, slot, t_begin,
+                              machine.engine().now()});
+  }
+
+  // WG_Done bookkeeping; the last finishing WG of the slice emits it.
+  co_await dev.busy_wait(cfg_.bookkeeping_ns);
+  const int slice = map.slice_of_wg(lw);
+  if (wg_done_[static_cast<std::size_t>(pe)][static_cast<std::size_t>(slice)]
+          .set_and_check_last(map.lane_in_slice(lw))) {
+    co_await emit_slice_from_slot(pe, slot, slice);
+  }
+}
+
+sim::Co FusedEmbeddingAllToAll::emit_slice(PeId pe, int slice) {
+  co_await emit_slice_from_slot(pe, /*slot=*/0, slice);
+}
+
+sim::Co FusedEmbeddingAllToAll::emit_slice_from_slot(PeId pe, int slot,
+                                                     int slice) {
+  auto& machine = world_.machine();
+  const auto& map = cfg_.map;
+  const PeId dest = map.slice_dest(slice);
+  const int t = map.slice_table(slice);
+  const int g = map.slice_group(slice);
+  const std::size_t fidx = flag_index(pe, t, g);
+
+  if (dest == pe) {
+    // Locally consumed slice: flag is a local store.
+    slice_rdy_->set(pe, fidx, 1);
+    if (cfg_.emit_trace && machine.trace().enabled()) {
+      machine.trace().add_instant(
+          {"local_slice", "local", pe, slot, machine.engine().now()});
+    }
+    co_return;
+  }
+
+  auto* flags = slice_rdy_.get();
+  const bool same_node = machine.same_node(pe, dest);
+  if (same_node && cfg_.zero_copy) {
+    // Zero-copy scale-up: data already stored per-WG; order the flag behind
+    // those stores and set it remotely.
+    co_await world_.fence(pe);
+    co_await world_.put_nbi(pe, dest, 8, shmem::World::IssueKind::kStore,
+                            [flags, dest, fidx] { flags->set(dest, fidx, 1); });
+  } else {
+    // Staged path: one PUT for the whole slice (RDMA inter-node, blit-style
+    // copy intra-node when zero-copy is disabled), fence, sliceRdy flag.
+    std::function<void()> deliver;
+    if (cfg_.functional) {
+      auto* out = data_->output;
+      const auto* st = &stage_[static_cast<std::size_t>(pe)]
+                              [static_cast<std::size_t>(slice)];
+      const int gt = map.global_table(pe, t);
+      const int lb0 = map.slice_sample_begin(slice) % map.local_batch();
+      deliver = [out, st, dest, gt, lb0, map = cfg_.map] {
+        auto o = out->pe(dest);
+        for (int v = 0; v < map.vectors_per_slice; ++v) {
+          for (int c = 0; c < map.dim; ++c) {
+            o[map.dest_offset(lb0 + v, gt, c)] =
+                (*st)[static_cast<std::size_t>(v) * map.dim +
+                      static_cast<std::size_t>(c)];
+          }
+        }
+      };
+    }
+    const auto kind = same_node ? shmem::World::IssueKind::kStore
+                                : shmem::World::IssueKind::kRdma;
+    co_await world_.put_nbi(pe, dest, map.slice_bytes(), kind,
+                            std::move(deliver));
+    co_await world_.fence(pe);
+    co_await world_.put_nbi(pe, dest, 8, kind,
+                            [flags, dest, fidx] { flags->set(dest, fidx, 1); });
+  }
+  if (cfg_.emit_trace && machine.trace().enabled()) {
+    machine.trace().add_instant(
+        {"put", "comm", pe, slot, machine.engine().now()});
+  }
+}
+
+sim::Co FusedEmbeddingAllToAll::pe_epilogue(PeId pe, int slot) {
+  // Each persistent WG polls a distinct subset of sliceRdy flags before
+  // exiting (cheaper than everyone polling everything).
+  const int stride = runs_[static_cast<std::size_t>(pe)]->active_slots();
+  const int total = cfg_.map.num_slices();
+  for (int f = slot; f < total; f += stride) {
+    co_await slice_rdy_->wait_ge(pe, static_cast<std::size_t>(f), 1);
+  }
+}
+
+OperatorResult FusedEmbeddingAllToAll::run_to_completion() {
+  auto& engine = world_.machine().engine();
+  struct Driver {
+    static sim::Task go(sim::Engine&, FusedEmbeddingAllToAll& op) {
+      co_await op.run();
+    }
+  };
+  Driver::go(engine, *this);
+  engine.run();
+  FCC_CHECK_MSG(engine.live_tasks() == 0,
+                "fused embedding+A2A deadlocked: " << engine.live_tasks()
+                                                   << " tasks suspended");
+  return result_;
+}
+
+// ---------------------------------------------------------------------------
+// Bulk-synchronous baseline
+// ---------------------------------------------------------------------------
+
+gpu::KernelResources BaselineEmbeddingAllToAll::baseline_resources() {
+  gpu::KernelResources r;
+  r.threads_per_wg = 256;
+  r.vgprs_per_thread = 128;
+  return r;
+}
+
+BaselineEmbeddingAllToAll::BaselineEmbeddingAllToAll(shmem::World& world,
+                                                     EmbeddingA2AConfig cfg,
+                                                     EmbeddingA2AData* data)
+    : world_(world),
+      cfg_(std::move(cfg)),
+      data_(data),
+      comm_(world.machine(), all_pes(world.machine())) {
+  cfg_.map.validate();
+  if (cfg_.functional) {
+    FCC_CHECK_MSG(data_ != nullptr && data_->output != nullptr,
+                  "functional mode needs EmbeddingA2AData");
+  }
+}
+
+sim::Co BaselineEmbeddingAllToAll::table_kernel(PeId pe, int table) {
+  auto& machine = world_.machine();
+  const auto& map = cfg_.map;
+  const auto& spec = machine.device(pe).spec();
+  gpu::KernelRun::Params p;
+  p.name = "emb_table_kernel";
+  p.num_slots = cfg_.occupancy_slots_override > 0
+                    ? cfg_.occupancy_slots_override
+                    : gpu::max_active_wgs(spec, baseline_resources());
+  p.order.resize(static_cast<std::size_t>(map.global_batch));
+  for (int b = 0; b < map.global_batch; ++b) {
+    p.order[static_cast<std::size_t>(b)] = b;
+  }
+  p.body = [this, pe, table](int, int b) -> sim::Co {
+    auto& dev = world_.machine().device(pe);
+    const auto& map2 = cfg_.map;
+    co_await dev.compute(ops::embedding_wg_cost(
+        cfg_.pooling, map2.dim, /*local_write=*/true, ops::kBaselineCurve));
+    if (cfg_.functional) {
+      std::vector<float> vec(static_cast<std::size_t>(map2.dim));
+      ops::pool_reference(cfg_.emb_config(),
+                          data_->tables[static_cast<std::size_t>(pe)],
+                          data_->batches[static_cast<std::size_t>(pe)], table,
+                          b, vec);
+      // Send layout: chunk per destination, [t][lb][dim] inside the chunk.
+      const PeId d = map2.dest_of_sample(b);
+      const int lb = b % map2.local_batch();
+      const std::size_t chunk_elems =
+          static_cast<std::size_t>(map2.tables_per_pe) *
+          static_cast<std::size_t>(map2.local_batch()) *
+          static_cast<std::size_t>(map2.dim);
+      const std::size_t off =
+          static_cast<std::size_t>(d) * chunk_elems +
+          (static_cast<std::size_t>(table) * map2.local_batch() +
+           static_cast<std::size_t>(lb)) *
+              static_cast<std::size_t>(map2.dim);
+      std::copy(vec.begin(), vec.end(),
+                send_[static_cast<std::size_t>(pe)].begin() +
+                    static_cast<std::ptrdiff_t>(off));
+    }
+  };
+  gpu::KernelRun run(machine.engine(), std::move(p));
+  run.start();
+  co_await run.wait();
+}
+
+sim::Co BaselineEmbeddingAllToAll::pe_compute(PeId pe,
+                                              sim::JoinCounter& done) {
+  auto& machine = world_.machine();
+  gpu::Stream stream(machine.engine(), machine.device(pe).spec());
+  for (int t = 0; t < cfg_.map.tables_per_pe; ++t) {
+    stream.enqueue([this, pe, t] { return table_kernel(pe, t); });
+  }
+  co_await stream.sync();
+  compute_end_[static_cast<std::size_t>(pe)] = machine.engine().now();
+  done.arrive();
+}
+
+sim::Co BaselineEmbeddingAllToAll::run() {
+  auto& machine = world_.machine();
+  auto& engine = machine.engine();
+  const auto& map = cfg_.map;
+  const int pes = map.num_pes;
+  const auto& spec = machine.device(0).spec();
+
+  result_ = OperatorResult{};
+  result_.start = engine.now();
+  compute_end_.assign(static_cast<std::size_t>(pes), 0);
+
+  const std::size_t chunk_elems = static_cast<std::size_t>(map.tables_per_pe) *
+                                  static_cast<std::size_t>(map.local_batch()) *
+                                  static_cast<std::size_t>(map.dim);
+  if (cfg_.functional) {
+    send_.assign(static_cast<std::size_t>(pes),
+                 std::vector<float>(chunk_elems * static_cast<std::size_t>(pes),
+                                    0.0f));
+    recv_.assign(static_cast<std::size_t>(pes),
+                 std::vector<float>(chunk_elems * static_cast<std::size_t>(pes),
+                                    0.0f));
+  }
+
+  // Compute phase: every PE drives its own stream of per-table kernels.
+  {
+    sim::JoinCounter compute_done(engine, pes);
+    struct PeDriver {
+      static sim::Task go(sim::Engine&, BaselineEmbeddingAllToAll& op,
+                          PeId pe, sim::JoinCounter& done) {
+        co_await op.pe_compute(pe, done);
+      }
+    };
+    for (PeId pe = 0; pe < pes; ++pe) {
+      PeDriver::go(engine, *this, pe, compute_done);
+    }
+    co_await compute_done.wait();
+  }
+
+  // Collective phase: RCCL-style All-to-All kernel (one launch), then sync.
+  co_await sim::delay(engine, spec.kernel_launch_ns);
+  ccl::FloatBufs send_bufs, recv_bufs;
+  if (cfg_.functional) {
+    for (auto& s : send_) send_bufs.per_rank.emplace_back(s);
+    for (auto& r : recv_) recv_bufs.per_rank.emplace_back(r);
+  }
+  co_await comm_.all_to_all(static_cast<std::int64_t>(chunk_elems),
+                            std::move(send_bufs), std::move(recv_bufs));
+  co_await sim::delay(engine, spec.stream_sync_ns);
+
+  // Functional: scatter the source-major chunks into the interaction layout.
+  // (Charged to neither side; the baseline's consumer reads strided, see
+  // DESIGN.md fairness note.)
+  if (cfg_.functional) {
+    for (PeId pe = 0; pe < pes; ++pe) {
+      auto out = data_->output->pe(pe);
+      const auto& rv = recv_[static_cast<std::size_t>(pe)];
+      for (PeId src = 0; src < pes; ++src) {
+        for (int t = 0; t < map.tables_per_pe; ++t) {
+          for (int lb = 0; lb < map.local_batch(); ++lb) {
+            const std::size_t in_off =
+                static_cast<std::size_t>(src) * chunk_elems +
+                (static_cast<std::size_t>(t) * map.local_batch() +
+                 static_cast<std::size_t>(lb)) *
+                    static_cast<std::size_t>(map.dim);
+            const int gt = map.global_table(src, t);
+            for (int c = 0; c < map.dim; ++c) {
+              out[map.dest_offset(lb, gt, c)] =
+                  rv[in_off + static_cast<std::size_t>(c)];
+            }
+          }
+        }
+      }
+    }
+  }
+
+  result_.end = engine.now();
+  result_.pe_end.assign(static_cast<std::size_t>(pes), result_.end);
+}
+
+OperatorResult BaselineEmbeddingAllToAll::run_to_completion() {
+  auto& engine = world_.machine().engine();
+  struct Driver {
+    static sim::Task go(sim::Engine&, BaselineEmbeddingAllToAll& op) {
+      co_await op.run();
+    }
+  };
+  Driver::go(engine, *this);
+  engine.run();
+  FCC_CHECK_MSG(engine.live_tasks() == 0,
+                "baseline embedding+A2A deadlocked");
+  return result_;
+}
+
+}  // namespace fcc::fused

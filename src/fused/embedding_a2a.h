@@ -1,0 +1,139 @@
+// Fused embedding pooling + All-to-All (the paper's Sec. III-A operator)
+// and its bulk-synchronous baseline.
+//
+// Fused path: one persistent HIP-style kernel per PE. Each logical WG pools
+// one output vector; the last WG of a slice (WG_Done bitmask) issues the
+// slice's remote PUT + fence + sliceRdy flag. Intra-node destinations use
+// zero-copy per-WG stores over the fabric (no staging); inter-node slices
+// stage locally and go out as one RDMA PUT. Logical WGs run in
+// communication-aware order (remote slices first) unless configured
+// oblivious. After draining the task loop, each persistent WG polls a
+// distinct subset of sliceRdy flags before exiting.
+//
+// Baseline path: per-table pooling kernels (public-DLRM structure) on a
+// stream, host sync, then the ccl All-to-All, then sync — communication
+// starts only at the kernel boundary.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ccl/communicator.h"
+#include "common/types.h"
+#include "fused/result.h"
+#include "fused/slice.h"
+#include "gpu/occupancy.h"
+#include "gpu/persistent.h"
+#include "gpu/schedule.h"
+#include "ops/cost_model.h"
+#include "ops/embedding.h"
+#include "shmem/flags.h"
+#include "shmem/sym_array.h"
+#include "shmem/world.h"
+
+namespace fcc::fused {
+
+struct EmbeddingA2AConfig {
+  SliceMap map;
+  int pooling = 64;
+  ops::PoolingMode mode = ops::PoolingMode::kSum;
+  int rows_per_table = 1000;  // used in functional mode only
+  gpu::SchedulePolicy policy = gpu::SchedulePolicy::kCommAware;
+  bool functional = false;
+  /// 0 = derive from kernel resources (fused: baseline regs + shmem ctx).
+  int occupancy_slots_override = 0;
+  /// Per-logical-WG task-loop + WG_Done bookkeeping cost.
+  TimeNs bookkeeping_ns = 40;
+  /// Scale-up zero-copy: WG threads store straight into peer memory. When
+  /// false, intra-node slices stage locally and move as slice-granular
+  /// copies (the ablation in bench_ablation_zero_copy).
+  bool zero_copy = true;
+  /// Emit trace spans/instants (Fig. 11) — keep off for large sweeps.
+  bool emit_trace = false;
+
+  ops::EmbeddingConfig emb_config() const {
+    ops::EmbeddingConfig e;
+    e.num_tables = map.tables_per_pe;
+    e.rows_per_table = rows_per_table;
+    e.dim = map.dim;
+    e.pooling = pooling;
+    e.mode = mode;
+    return e;
+  }
+};
+
+/// Functional-mode inputs/outputs; null members in timing-only runs.
+struct EmbeddingA2AData {
+  std::vector<ops::EmbeddingTables> tables;   // [pe] local tables
+  std::vector<ops::EmbeddingBatch> batches;   // [pe] indices over global batch
+  shmem::SymArray<float>* output = nullptr;   // [pe][dest_elems]
+
+  static EmbeddingA2AData random(const EmbeddingA2AConfig& cfg,
+                                 shmem::SymArray<float>* out,
+                                 std::uint64_t seed);
+};
+
+class FusedEmbeddingAllToAll {
+ public:
+  FusedEmbeddingAllToAll(shmem::World& world, EmbeddingA2AConfig cfg,
+                         EmbeddingA2AData* data);
+
+  /// Awaitable from a host driver coroutine; fills `result()`.
+  sim::Co run();
+
+  /// Convenience: spawn + drain the engine (for benches running one op).
+  OperatorResult run_to_completion();
+
+  const OperatorResult& result() const { return result_; }
+  int slots_per_pe() const { return slots_per_pe_; }
+
+  /// Kernel resources of the fused kernel (baseline regs + shmem context).
+  static gpu::KernelResources fused_resources();
+
+ private:
+  sim::Co pe_kernel_wg(PeId pe, int slot, int lw);
+  sim::Co pe_epilogue(PeId pe, int slot);
+  sim::Co emit_slice(PeId pe, int slice);
+  sim::Co emit_slice_from_slot(PeId pe, int slot, int slice);
+  std::size_t flag_index(PeId src, int table, int group) const;
+
+  shmem::World& world_;
+  EmbeddingA2AConfig cfg_;
+  EmbeddingA2AData* data_;
+  int slots_per_pe_ = 0;
+
+  // Per-PE runtime state, rebuilt by run().
+  std::vector<std::vector<shmem::WgDoneMask>> wg_done_;     // [pe][slice]
+  std::unique_ptr<shmem::FlagArray> slice_rdy_;             // [pe][flag]
+  std::vector<std::vector<std::vector<float>>> stage_;      // [pe][slice][...]
+  std::vector<std::unique_ptr<gpu::KernelRun>> runs_;
+  OperatorResult result_;
+};
+
+class BaselineEmbeddingAllToAll {
+ public:
+  BaselineEmbeddingAllToAll(shmem::World& world, EmbeddingA2AConfig cfg,
+                            EmbeddingA2AData* data);
+
+  sim::Co run();
+  OperatorResult run_to_completion();
+  const OperatorResult& result() const { return result_; }
+
+  static gpu::KernelResources baseline_resources();
+
+ private:
+  sim::Co table_kernel(PeId pe, int table);
+  sim::Co pe_compute(PeId pe, sim::JoinCounter& done);
+
+  shmem::World& world_;
+  EmbeddingA2AConfig cfg_;
+  EmbeddingA2AData* data_;
+  ccl::Communicator comm_;
+
+  // Functional staging: send/recv in ccl chunk layout [dest|src][t][lb][dim].
+  std::vector<std::vector<float>> send_, recv_;
+  std::vector<TimeNs> compute_end_;
+  OperatorResult result_;
+};
+
+}  // namespace fcc::fused

@@ -1,0 +1,297 @@
+#include "fused/gemm_a2a.h"
+
+#include <utility>
+
+#include "gpu/stream.h"
+#include "ops/gemv.h"  // random_vector
+#include "sim/task.h"
+
+namespace fcc::fused {
+namespace {
+
+std::vector<PeId> all_pes(gpu::Machine& m) {
+  std::vector<PeId> v;
+  for (PeId p = 0; p < m.num_pes(); ++p) v.push_back(p);
+  return v;
+}
+
+}  // namespace
+
+GemmA2AData GemmA2AData::random(const GemmA2AConfig& cfg, int num_pes,
+                                shmem::SymArray<float>* out,
+                                std::uint64_t seed) {
+  GemmA2AData d;
+  d.out = out;
+  Rng rng(seed);
+  const auto shape = cfg.shape(num_pes);
+  for (int pe = 0; pe < num_pes; ++pe) {
+    d.a.push_back(ops::random_vector(
+        static_cast<std::size_t>(shape.m) * static_cast<std::size_t>(shape.k),
+        rng));
+    d.b.push_back(ops::random_vector(
+        static_cast<std::size_t>(shape.k) * static_cast<std::size_t>(shape.n),
+        rng));
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Fused operator (authored in the tile DSL)
+// ---------------------------------------------------------------------------
+
+gpu::KernelResources FusedGemmAllToAll::fused_resources() {
+  gpu::KernelResources r;
+  r.threads_per_wg = 256;
+  r.vgprs_per_thread = 128 + gpu::kShmemCtxVgprsPerThread;
+  return r;
+}
+
+FusedGemmAllToAll::FusedGemmAllToAll(shmem::World& world, GemmA2AConfig cfg,
+                                     GemmA2AData* data)
+    : world_(world),
+      cfg_(cfg),
+      data_(data),
+      num_pes_(world.n_pes()),
+      shape_(cfg.shape(world.n_pes())) {
+  FCC_CHECK_MSG(cfg_.rows_per_origin % cfg_.block_m == 0,
+                "block_m must divide rows_per_origin so a tile has exactly "
+                "one destination");
+  if (cfg_.functional) {
+    FCC_CHECK(data_ != nullptr && data_->out != nullptr);
+  }
+}
+
+PeId FusedGemmAllToAll::origin_of_tile(int pid) const {
+  return shape_.row_begin(pid) / cfg_.rows_per_origin;
+}
+
+sim::Co FusedGemmAllToAll::run() {
+  auto& machine = world_.machine();
+  auto& engine = machine.engine();
+  const auto& spec = machine.device(0).spec();
+
+  arrivals_ = std::make_unique<shmem::FlagArray>(
+      engine, num_pes_, static_cast<std::size_t>(num_pes_));
+
+  // --- the fused kernel, authored with the DSL's comm extensions ---
+  kernel_ = std::make_unique<triton::TileKernel>("moe_combine_fused", shape_,
+                                                 cfg_.alu_efficiency);
+  const int R = cfg_.rows_per_origin;
+  const int n = cfg_.d_model;
+  auto dest_of = [this](const triton::TileKernel::Ctx& ctx) {
+    return origin_of_tile(ctx.pid);
+  };
+  auto write_tile = [this, R, n](const triton::TileKernel::Ctx& ctx,
+                                 const std::vector<float>& tile) {
+    // Destination chunk layout at origin o: [expert][local_row][col].
+    const auto& sh = *ctx.shape;
+    const PeId origin = sh.row_begin(ctx.pid) / R;
+    auto out = data_->out->pe(origin);
+    const int cols = sh.col_end(ctx.pid) - sh.col_begin(ctx.pid);
+    for (int r = sh.row_begin(ctx.pid); r < sh.row_end(ctx.pid); ++r) {
+      const int local_row = r - origin * R;
+      for (int j = 0; j < cols; ++j) {
+        out[(static_cast<std::size_t>(ctx.pe) * R +
+             static_cast<std::size_t>(local_row)) *
+                static_cast<std::size_t>(n) +
+            static_cast<std::size_t>(sh.col_begin(ctx.pid) + j)] =
+            tile[static_cast<std::size_t>(r - sh.row_begin(ctx.pid)) * cols +
+                 static_cast<std::size_t>(j)];
+      }
+    }
+  };
+  kernel_->load_a().load_b().dot();
+  if (cfg_.functional) {
+    kernel_->put_c_remote(dest_of, write_tile);
+  } else {
+    kernel_->put_c_remote(dest_of, {});
+  }
+  kernel_->fence();
+  kernel_->atomic_add_remote(
+      arrivals_.get(), dest_of,
+      [](const triton::TileKernel::Ctx& ctx) {
+        return static_cast<std::size_t>(ctx.pe);
+      });
+
+  result_ = OperatorResult{};
+  result_.start = engine.now();
+  result_.pe_end.assign(static_cast<std::size_t>(num_pes_), 0);
+
+  co_await sim::delay(engine, spec.kernel_launch_ns);
+
+  sim::JoinCounter done(engine, num_pes_);
+  struct PeRunner {
+    static sim::Task go(sim::Engine& e, FusedGemmAllToAll& op, PeId pe,
+                        sim::JoinCounter& done) {
+      co_await op.pe_driver(pe, done);
+      (void)e;
+    }
+  };
+  for (PeId pe = 0; pe < num_pes_; ++pe) {
+    PeRunner::go(engine, *this, pe, done);
+  }
+  co_await done.wait();
+  co_await sim::delay(engine, spec.stream_sync_ns);
+  result_.end = engine.now();
+}
+
+sim::Co FusedGemmAllToAll::pe_driver(PeId pe, sim::JoinCounter& done) {
+  auto& engine = world_.machine().engine();
+  // Expected tiles per source expert: my row block's tile count.
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(cfg_.rows_per_origin / cfg_.block_m) *
+      static_cast<std::uint64_t>(shape_.tiles_n());
+
+  triton::TileKernel::LaunchConfig lc;
+  lc.world = &world_;
+  lc.pe = pe;
+  lc.policy = cfg_.policy;
+  lc.occupancy_slots_override = cfg_.occupancy_slots_override;
+  lc.functional = cfg_.functional;
+  if (cfg_.functional) {
+    lc.a = data_->a[static_cast<std::size_t>(pe)];
+    lc.b = data_->b[static_cast<std::size_t>(pe)];
+  }
+  auto* arrivals = arrivals_.get();
+  const int pes = num_pes_;
+  // Distinct flag subsets: the first `pes` slots each poll one source
+  // expert's arrival counter; the rest exit after their task loop.
+  lc.epilogue = [arrivals, pe, pes, expected](int slot) -> sim::Co {
+    if (slot < pes) {
+      co_await arrivals->wait_ge(pe, static_cast<std::size_t>(slot), expected);
+    }
+  };
+
+  co_await kernel_->launch(lc);
+  result_.pe_end[static_cast<std::size_t>(pe)] = engine.now();
+  done.arrive();
+}
+
+OperatorResult FusedGemmAllToAll::run_to_completion() {
+  auto& engine = world_.machine().engine();
+  struct Driver {
+    static sim::Task go(sim::Engine&, FusedGemmAllToAll& op) {
+      co_await op.run();
+    }
+  };
+  Driver::go(engine, *this);
+  engine.run();
+  FCC_CHECK_MSG(engine.live_tasks() == 0, "fused GEMM+A2A deadlocked");
+  return result_;
+}
+
+// ---------------------------------------------------------------------------
+// Bulk-synchronous baseline
+// ---------------------------------------------------------------------------
+
+BaselineGemmAllToAll::BaselineGemmAllToAll(shmem::World& world,
+                                           GemmA2AConfig cfg,
+                                           GemmA2AData* data)
+    : world_(world),
+      cfg_(cfg),
+      data_(data),
+      comm_(world.machine(), all_pes(world.machine())) {
+  if (cfg_.functional) {
+    FCC_CHECK(data_ != nullptr && data_->out != nullptr);
+  }
+}
+
+sim::Co BaselineGemmAllToAll::run() {
+  auto& machine = world_.machine();
+  auto& engine = machine.engine();
+  const int pes = machine.num_pes();
+  const auto& spec = machine.device(0).spec();
+  const auto shape = cfg_.shape(pes);
+
+  result_ = OperatorResult{};
+  result_.start = engine.now();
+  if (cfg_.functional) {
+    c_.assign(static_cast<std::size_t>(pes),
+              std::vector<float>(static_cast<std::size_t>(shape.m) *
+                                     static_cast<std::size_t>(shape.n),
+                                 0.0f));
+  }
+
+  // Compute phase: plain tile-DSL GEMM per PE (load, dot, local store).
+  {
+    sim::JoinCounter done(engine, pes);
+    struct PeRunner {
+      static sim::Task go(sim::Engine& e, BaselineGemmAllToAll& op, PeId pe,
+                          sim::JoinCounter& done) {
+        const auto shape = op.cfg_.shape(op.world_.machine().num_pes());
+        triton::TileKernel kernel("moe_gemm_baseline", shape,
+                                  op.cfg_.alu_efficiency);
+        auto write_local = [&op, pe, shape](
+                               const triton::TileKernel::Ctx& ctx,
+                               const std::vector<float>& tile) {
+          auto& c = op.c_[static_cast<std::size_t>(pe)];
+          const auto& sh = *ctx.shape;
+          const int cols = sh.col_end(ctx.pid) - sh.col_begin(ctx.pid);
+          for (int r = sh.row_begin(ctx.pid); r < sh.row_end(ctx.pid); ++r) {
+            for (int j = 0; j < cols; ++j) {
+              c[static_cast<std::size_t>(r) * shape.n +
+                static_cast<std::size_t>(sh.col_begin(ctx.pid) + j)] =
+                  tile[static_cast<std::size_t>(r - sh.row_begin(ctx.pid)) *
+                           cols +
+                       static_cast<std::size_t>(j)];
+            }
+          }
+        };
+        kernel.load_a().load_b().dot();
+        kernel.store_c_local(op.cfg_.functional
+                                 ? triton::TileKernel::WriteFn(write_local)
+                                 : triton::TileKernel::WriteFn{});
+
+        triton::TileKernel::LaunchConfig lc;
+        lc.world = &op.world_;
+        lc.pe = pe;
+        lc.policy = gpu::SchedulePolicy::kOblivious;
+        lc.functional = op.cfg_.functional;
+        if (op.cfg_.functional) {
+          lc.a = op.data_->a[static_cast<std::size_t>(pe)];
+          lc.b = op.data_->b[static_cast<std::size_t>(pe)];
+        }
+        co_await sim::delay(e, op.world_.machine().device(pe).spec()
+                                   .kernel_launch_ns);
+        co_await kernel.launch(lc);
+        done.arrive();
+      }
+    };
+    for (PeId pe = 0; pe < pes; ++pe) PeRunner::go(engine, *this, pe, done);
+    co_await done.wait();
+  }
+  co_await sim::delay(engine, spec.stream_sync_ns);
+
+  // Collective phase: chunk d of PE e's C (rows [d*R, (d+1)*R)) goes to
+  // origin d; recv is source-major, which is exactly the output layout.
+  co_await sim::delay(engine, spec.kernel_launch_ns);
+  const std::int64_t chunk_elems =
+      static_cast<std::int64_t>(cfg_.rows_per_origin) * cfg_.d_model;
+  ccl::FloatBufs send, recv;
+  if (cfg_.functional) {
+    for (auto& c : c_) send.per_rank.emplace_back(c);
+    for (PeId pe = 0; pe < pes; ++pe) {
+      recv.per_rank.push_back(data_->out->pe(pe));
+    }
+  }
+  co_await comm_.all_to_all(chunk_elems, std::move(send), std::move(recv));
+  co_await sim::delay(engine, spec.stream_sync_ns);
+
+  result_.end = engine.now();
+  result_.pe_end.assign(static_cast<std::size_t>(pes), result_.end);
+}
+
+OperatorResult BaselineGemmAllToAll::run_to_completion() {
+  auto& engine = world_.machine().engine();
+  struct Driver {
+    static sim::Task go(sim::Engine&, BaselineGemmAllToAll& op) {
+      co_await op.run();
+    }
+  };
+  Driver::go(engine, *this);
+  engine.run();
+  FCC_CHECK_MSG(engine.live_tasks() == 0, "baseline GEMM+A2A deadlocked");
+  return result_;
+}
+
+}  // namespace fcc::fused

@@ -1,0 +1,440 @@
+#include "fused/gemv_allreduce.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "gpu/persistent.h"
+#include "gpu/stream.h"
+#include "sim/task.h"
+
+namespace fcc::fused {
+namespace {
+
+std::vector<PeId> all_pes(gpu::Machine& m) {
+  std::vector<PeId> v;
+  for (PeId p = 0; p < m.num_pes(); ++p) v.push_back(p);
+  return v;
+}
+
+sim::Task watch_join(sim::Engine& engine, sim::JoinCounter& join,
+                     TimeNs& out) {
+  co_await join.wait();
+  out = engine.now();
+}
+
+}  // namespace
+
+GemvAllReduceData GemvAllReduceData::random(const GemvAllReduceConfig& cfg,
+                                            int num_pes,
+                                            shmem::SymArray<float>* y,
+                                            std::uint64_t seed) {
+  GemvAllReduceData d;
+  d.y = y;
+  Rng rng(seed);
+  const int kl = cfg.k_local(num_pes);
+  for (int pe = 0; pe < num_pes; ++pe) {
+    d.w.push_back(ops::random_vector(
+        static_cast<std::size_t>(cfg.m) * static_cast<std::size_t>(kl), rng));
+    d.x.push_back(ops::random_vector(static_cast<std::size_t>(kl), rng));
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Fused operator
+// ---------------------------------------------------------------------------
+
+gpu::KernelResources FusedGemvAllReduce::fused_resources() {
+  gpu::KernelResources r;
+  r.threads_per_wg = 256;
+  r.vgprs_per_thread = 128 + gpu::kShmemCtxVgprsPerThread;
+  return r;
+}
+
+FusedGemvAllReduce::FusedGemvAllReduce(shmem::World& world,
+                                       GemvAllReduceConfig cfg,
+                                       GemvAllReduceData* data)
+    : world_(world),
+      cfg_(cfg),
+      data_(data),
+      num_pes_(world.n_pes()),
+      shape_(cfg.shape(world.n_pes())),
+      num_tiles_(shape_.num_tiles()) {
+  FCC_CHECK_MSG(num_tiles_ % num_pes_ == 0,
+                "tiles (" << num_tiles_ << ") must divide evenly across PEs");
+  if (cfg_.functional) {
+    FCC_CHECK(data_ != nullptr && data_->y != nullptr);
+  }
+}
+
+PeId FusedGemvAllReduce::owner_of_tile(int tile) const {
+  return tile / (num_tiles_ / num_pes_);
+}
+
+std::size_t FusedGemvAllReduce::flag_index(PeId src, int slot) const {
+  return static_cast<std::size_t>(src) * static_cast<std::size_t>(active_slots_) +
+         static_cast<std::size_t>(slot);
+}
+
+sim::Co FusedGemvAllReduce::run() {
+  auto& machine = world_.machine();
+  auto& engine = machine.engine();
+  const auto& spec = machine.device(0).spec();
+
+  const int slots = cfg_.occupancy_slots_override > 0
+                        ? cfg_.occupancy_slots_override
+                        : gpu::max_active_wgs(spec, fused_resources());
+  active_slots_ = std::min(slots, num_tiles_);
+
+  arrive_flags_ = std::make_unique<shmem::FlagArray>(
+      engine, num_pes_,
+      static_cast<std::size_t>(num_pes_) *
+          static_cast<std::size_t>(active_slots_));
+  bcast_flags_ = std::make_unique<shmem::FlagArray>(
+      engine, num_pes_,
+      static_cast<std::size_t>(num_pes_) *
+          static_cast<std::size_t>(active_slots_));
+  if (cfg_.functional) {
+    local_partial_.assign(static_cast<std::size_t>(num_pes_),
+                          std::vector<float>(static_cast<std::size_t>(shape_.m),
+                                             0.0f));
+    temp_.assign(static_cast<std::size_t>(num_pes_),
+                 std::vector<std::vector<float>>(
+                     static_cast<std::size_t>(num_pes_),
+                     std::vector<float>(static_cast<std::size_t>(shape_.m),
+                                        0.0f)));
+  }
+  pe_done_.clear();
+  for (int pe = 0; pe < num_pes_; ++pe) {
+    pe_done_.push_back(std::make_unique<sim::JoinCounter>(engine, active_slots_));
+  }
+  result_ = OperatorResult{};
+  result_.start = engine.now();
+  result_.pe_end.assign(static_cast<std::size_t>(num_pes_), 0);
+
+  co_await sim::delay(engine, spec.kernel_launch_ns);
+
+  for (PeId pe = 0; pe < num_pes_; ++pe) {
+    watch_join(engine, *pe_done_[static_cast<std::size_t>(pe)],
+               result_.pe_end[static_cast<std::size_t>(pe)]);
+    for (int s = 0; s < active_slots_; ++s) {
+      slot_proc(engine, pe, s);
+    }
+  }
+  for (PeId pe = 0; pe < num_pes_; ++pe) {
+    co_await pe_done_[static_cast<std::size_t>(pe)]->wait();
+  }
+  co_await sim::delay(engine, spec.stream_sync_ns);
+  result_.end = engine.now();
+}
+
+sim::Task FusedGemvAllReduce::slot_proc(sim::Engine& /*engine*/, PeId pe,
+                                        int slot) {
+  // Task list: tiles with tile % slots == slot, comm-aware ordered (tiles
+  // this GPU does NOT own first, so their stores overlap local compute).
+  std::vector<int> mine;
+  for (int t = slot; t < num_tiles_; t += active_slots_) mine.push_back(t);
+  if (cfg_.policy == gpu::SchedulePolicy::kCommAware) {
+    std::stable_partition(mine.begin(), mine.end(),
+                          [&](int t) { return owner_of_tile(t) != pe; });
+  }
+
+  for (int tile : mine) {
+    co_await compute_tile(pe, slot, tile);
+  }
+
+  // Arrival flags: data stores are ordered ahead of these by channel FIFO.
+  co_await world_.fence(pe);
+  for (PeId peer = 0; peer < num_pes_; ++peer) {
+    if (peer == pe) continue;
+    auto* flags = arrive_flags_.get();
+    const std::size_t idx = flag_index(pe, slot);
+    co_await world_.put_nbi(pe, peer, 8, shmem::World::IssueKind::kStore,
+                            [flags, peer, idx] { flags->set(peer, idx, 1); });
+  }
+
+  co_await reduce_and_broadcast(pe, slot);
+
+  // Wait for the output rows owned by peers (their counterpart slots).
+  for (PeId peer = 0; peer < num_pes_; ++peer) {
+    if (peer == pe) continue;
+    co_await bcast_flags_->wait_ge(pe, flag_index(peer, slot), 1);
+  }
+  pe_done_[static_cast<std::size_t>(pe)]->arrive();
+}
+
+sim::Co FusedGemvAllReduce::compute_tile(PeId pe, int slot, int tile) {
+  auto& machine = world_.machine();
+  auto& dev = machine.device(pe);
+  const PeId owner = owner_of_tile(tile);
+  const bool remote = owner != pe;
+
+  const TimeNs t0 = machine.engine().now();
+  co_await dev.compute(ops::gemv_tile_cost(shape_.tile_rows, shape_.k,
+                                           /*local_write=*/!remote,
+                                           ops::kBaselineCurve));
+  co_await dev.busy_wait(cfg_.bookkeeping_ns);
+
+  std::vector<float> vals;
+  if (cfg_.functional) {
+    vals.resize(static_cast<std::size_t>(shape_.tile_rows));
+    ops::gemv_tile(shape_, data_->w[static_cast<std::size_t>(pe)],
+                   data_->x[static_cast<std::size_t>(pe)], tile, vals);
+  }
+
+  const int r0 = shape_.tile_begin(tile);
+  const int r1 = shape_.tile_end(tile);
+  if (!remote) {
+    if (cfg_.functional) {
+      auto& acc = local_partial_[static_cast<std::size_t>(pe)];
+      for (int r = r0; r < r1; ++r) {
+        acc[static_cast<std::size_t>(r)] = vals[static_cast<std::size_t>(r - r0)];
+      }
+    }
+    co_return;
+  }
+
+  // Zero-copy store of the partial tile into the owner's reduction buffer.
+  std::function<void()> deliver;
+  if (cfg_.functional) {
+    auto* temp = &temp_[static_cast<std::size_t>(owner)]
+                       [static_cast<std::size_t>(pe)];
+    deliver = [temp, r0, r1, v = std::move(vals)] {
+      for (int r = r0; r < r1; ++r) {
+        (*temp)[static_cast<std::size_t>(r)] = v[static_cast<std::size_t>(r - r0)];
+      }
+    };
+  }
+  co_await world_.put_nbi(pe, owner,
+                          static_cast<Bytes>(r1 - r0) * 4,
+                          shmem::World::IssueKind::kStore, std::move(deliver));
+  if (machine.trace().enabled()) {
+    machine.trace().add_instant({"put", "comm", pe, slot, t0});
+  }
+}
+
+sim::Co FusedGemvAllReduce::reduce_and_broadcast(PeId pe, int slot) {
+  auto& machine = world_.machine();
+  auto& dev = machine.device(pe);
+
+  // Wait for counterpart slots on every peer to finish storing partials.
+  for (PeId peer = 0; peer < num_pes_; ++peer) {
+    if (peer == pe) continue;
+    co_await arrive_flags_->wait_ge(pe, flag_index(peer, slot), 1);
+  }
+
+  // Owned tiles assigned to this slot.
+  std::vector<int> owned;
+  for (int t = slot; t < num_tiles_; t += active_slots_) {
+    if (owner_of_tile(t) == pe) owned.push_back(t);
+  }
+  if (owned.empty()) {
+    // Still must release peers waiting on our broadcast flag.
+    for (PeId peer = 0; peer < num_pes_; ++peer) {
+      if (peer == pe) continue;
+      auto* flags = bcast_flags_.get();
+      const std::size_t idx = flag_index(pe, slot);
+      co_await world_.put_nbi(pe, peer, 8, shmem::World::IssueKind::kStore,
+                              [flags, peer, idx] { flags->set(peer, idx, 1); });
+    }
+    co_return;
+  }
+
+  for (int tile : owned) {
+    const int r0 = shape_.tile_begin(tile);
+    const int r1 = shape_.tile_end(tile);
+    const Bytes tile_bytes = static_cast<Bytes>(r1 - r0) * 4;
+
+    // Reduce: read N partials, write the result.
+    gpu::WorkCost reduce_cost;
+    reduce_cost.hbm_bytes = tile_bytes * (num_pes_ + 1);
+    reduce_cost.flops = static_cast<double>(r1 - r0) * num_pes_;
+    reduce_cost.curve = ops::kBaselineCurve;
+    co_await dev.compute(reduce_cost);
+
+    std::vector<float> final_vals;
+    if (cfg_.functional) {
+      final_vals.resize(static_cast<std::size_t>(r1 - r0));
+      const auto& acc = local_partial_[static_cast<std::size_t>(pe)];
+      for (int r = r0; r < r1; ++r) {
+        float sum = acc[static_cast<std::size_t>(r)];
+        for (PeId peer = 0; peer < num_pes_; ++peer) {
+          if (peer == pe) continue;
+          sum += temp_[static_cast<std::size_t>(pe)]
+                      [static_cast<std::size_t>(peer)]
+                      [static_cast<std::size_t>(r)];
+        }
+        final_vals[static_cast<std::size_t>(r - r0)] = sum;
+      }
+      // Local output rows.
+      auto y = data_->y->pe(pe);
+      for (int r = r0; r < r1; ++r) {
+        y[static_cast<std::size_t>(r)] = final_vals[static_cast<std::size_t>(r - r0)];
+      }
+    }
+
+    // Zero-copy broadcast of the reduced tile to every peer's output.
+    for (PeId peer = 0; peer < num_pes_; ++peer) {
+      if (peer == pe) continue;
+      std::function<void()> deliver;
+      if (cfg_.functional) {
+        auto* out = data_->y;
+        deliver = [out, peer, r0, r1, v = final_vals] {
+          auto y = out->pe(peer);
+          for (int r = r0; r < r1; ++r) {
+            y[static_cast<std::size_t>(r)] = v[static_cast<std::size_t>(r - r0)];
+          }
+        };
+      }
+      co_await world_.put_nbi(pe, peer, tile_bytes,
+                              shmem::World::IssueKind::kStore,
+                              std::move(deliver));
+    }
+  }
+
+  // Broadcast flags after all final-tile stores (channel FIFO + fence).
+  co_await world_.fence(pe);
+  for (PeId peer = 0; peer < num_pes_; ++peer) {
+    if (peer == pe) continue;
+    auto* flags = bcast_flags_.get();
+    const std::size_t idx = flag_index(pe, slot);
+    co_await world_.put_nbi(pe, peer, 8, shmem::World::IssueKind::kStore,
+                            [flags, peer, idx] { flags->set(peer, idx, 1); });
+  }
+}
+
+OperatorResult FusedGemvAllReduce::run_to_completion() {
+  auto& engine = world_.machine().engine();
+  struct Driver {
+    static sim::Task go(sim::Engine&, FusedGemvAllReduce& op) {
+      co_await op.run();
+    }
+  };
+  Driver::go(engine, *this);
+  engine.run();
+  FCC_CHECK_MSG(engine.live_tasks() == 0, "fused GEMV+AllReduce deadlocked");
+  return result_;
+}
+
+// ---------------------------------------------------------------------------
+// Bulk-synchronous baseline
+// ---------------------------------------------------------------------------
+
+gpu::KernelResources BaselineGemvAllReduce::baseline_resources() {
+  gpu::KernelResources r;
+  r.threads_per_wg = 256;
+  r.vgprs_per_thread = 128;
+  return r;
+}
+
+BaselineGemvAllReduce::BaselineGemvAllReduce(shmem::World& world,
+                                             GemvAllReduceConfig cfg,
+                                             GemvAllReduceData* data,
+                                             ccl::AllReduceAlgo algo)
+    : world_(world),
+      cfg_(cfg),
+      data_(data),
+      algo_(algo),
+      comm_(world.machine(), all_pes(world.machine())) {
+  if (cfg_.functional) {
+    FCC_CHECK(data_ != nullptr && data_->y != nullptr);
+  }
+}
+
+sim::Co BaselineGemvAllReduce::gemv_kernel(PeId pe) {
+  auto& machine = world_.machine();
+  const auto shape = cfg_.shape(machine.num_pes());
+  gpu::KernelRun::Params p;
+  p.name = "gemv_kernel";
+  p.num_slots =
+      gpu::max_active_wgs(machine.device(pe).spec(), baseline_resources());
+  p.order.resize(static_cast<std::size_t>(shape.num_tiles()));
+  for (int t = 0; t < shape.num_tiles(); ++t) {
+    p.order[static_cast<std::size_t>(t)] = t;
+  }
+  p.body = [this, pe, shape](int, int tile) -> sim::Co {
+    auto& dev = world_.machine().device(pe);
+    co_await dev.compute(ops::gemv_tile_cost(shape.tile_rows, shape.k,
+                                             /*local_write=*/true,
+                                             ops::kBaselineCurve));
+    if (cfg_.functional) {
+      std::vector<float> vals(static_cast<std::size_t>(shape.tile_rows));
+      ops::gemv_tile(shape, data_->w[static_cast<std::size_t>(pe)],
+                     data_->x[static_cast<std::size_t>(pe)], tile, vals);
+      auto& part = partial_[static_cast<std::size_t>(pe)];
+      for (int r = shape.tile_begin(tile); r < shape.tile_end(tile); ++r) {
+        part[static_cast<std::size_t>(r)] =
+            vals[static_cast<std::size_t>(r - shape.tile_begin(tile))];
+      }
+    }
+  };
+  gpu::KernelRun kernel(machine.engine(), std::move(p));
+  kernel.start();
+  co_await kernel.wait();
+}
+
+sim::Co BaselineGemvAllReduce::run() {
+  auto& machine = world_.machine();
+  auto& engine = machine.engine();
+  const int pes = machine.num_pes();
+  const auto& spec = machine.device(0).spec();
+
+  result_ = OperatorResult{};
+  result_.start = engine.now();
+  if (cfg_.functional) {
+    partial_.assign(static_cast<std::size_t>(pes),
+                    std::vector<float>(static_cast<std::size_t>(cfg_.m), 0.0f));
+  }
+
+  // Compute phase: every PE runs its GEMV kernel concurrently.
+  {
+    sim::JoinCounter done(engine, pes);
+    struct PeDriver {
+      static sim::Task go(sim::Engine& e, BaselineGemvAllReduce& op, PeId pe,
+                          sim::JoinCounter& done) {
+        co_await sim::delay(e, op.world_.machine().device(pe).spec()
+                                   .kernel_launch_ns);
+        co_await op.gemv_kernel(pe);
+        done.arrive();
+      }
+    };
+    for (PeId pe = 0; pe < pes; ++pe) PeDriver::go(engine, *this, pe, done);
+    co_await done.wait();
+  }
+  co_await sim::delay(engine, spec.stream_sync_ns);
+
+  // Collective phase: RCCL-style AllReduce kernel.
+  co_await sim::delay(engine, spec.kernel_launch_ns);
+  ccl::FloatBufs bufs;
+  if (cfg_.functional) {
+    for (auto& p : partial_) bufs.per_rank.emplace_back(p);
+  }
+  co_await comm_.all_reduce(cfg_.m, std::move(bufs), algo_);
+  co_await sim::delay(engine, spec.stream_sync_ns);
+
+  if (cfg_.functional) {
+    for (PeId pe = 0; pe < pes; ++pe) {
+      auto y = data_->y->pe(pe);
+      const auto& p = partial_[static_cast<std::size_t>(pe)];
+      std::copy(p.begin(), p.end(), y.begin());
+    }
+  }
+
+  result_.end = engine.now();
+  result_.pe_end.assign(static_cast<std::size_t>(pes), result_.end);
+}
+
+OperatorResult BaselineGemvAllReduce::run_to_completion() {
+  auto& engine = world_.machine().engine();
+  struct Driver {
+    static sim::Task go(sim::Engine&, BaselineGemvAllReduce& op) {
+      co_await op.run();
+    }
+  };
+  Driver::go(engine, *this);
+  engine.run();
+  FCC_CHECK_MSG(engine.live_tasks() == 0, "baseline GEMV+AllReduce deadlocked");
+  return result_;
+}
+
+}  // namespace fcc::fused

@@ -1,0 +1,137 @@
+// Fused GEMV + AllReduce (the paper's Sec. III-B scale-up operator) and its
+// bulk-synchronous baseline.
+//
+// Megatron-style row-parallel layer: GPU g holds W_g (m x k/N) and x_g
+// (k/N); partial y_g = W_g x_g must be sum-reduced across GPUs. The fused
+// kernel uses the two-phase direct AllReduce: tile i's owner is the GPU
+// responsible for reducing it (contiguous 1/N ranges). Tiles are statically
+// assigned to physical WG slots (tile % slots), so "counterpart" slots own
+// identical tiles on every GPU — that is what lets each slot set just ONE
+// ready flag per peer instead of per-tile synchronization.
+//
+// Per slot, on GPU g:
+//   1. task loop (comm-aware: peer-owned tiles first): compute tile; if
+//      owned remotely, zero-copy store it into the owner's temp buffer;
+//      else keep the partial locally.
+//   2. fence, then set one arrival flag on every peer.
+//   3. for each owned tile: wait the counterpart slots' flags, reduce the
+//      N partials, store the result locally and zero-copy broadcast it to
+//      every peer's output, fence, set one broadcast flag per peer.
+//   4. wait the counterpart broadcast flags (output rows owned by peers).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ccl/communicator.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "fused/result.h"
+#include "gpu/occupancy.h"
+#include "gpu/schedule.h"
+#include "ops/cost_model.h"
+#include "ops/gemv.h"
+#include "shmem/flags.h"
+#include "shmem/sym_array.h"
+#include "shmem/world.h"
+#include "sim/sync.h"
+
+namespace fcc::fused {
+
+struct GemvAllReduceConfig {
+  int m = 8192;       // output rows
+  int k_global = 8192;  // reduction dim, split row-wise across PEs
+  int tile_rows = ops::kGemvTileRows;
+  gpu::SchedulePolicy policy = gpu::SchedulePolicy::kCommAware;
+  bool functional = false;
+  int occupancy_slots_override = 0;
+  TimeNs bookkeeping_ns = 40;
+
+  int k_local(int num_pes) const {
+    FCC_CHECK(k_global % num_pes == 0);
+    return k_global / num_pes;
+  }
+  ops::GemvShape shape(int num_pes) const {
+    ops::GemvShape s;
+    s.m = m;
+    s.k = k_local(num_pes);
+    s.tile_rows = tile_rows;
+    return s;
+  }
+};
+
+struct GemvAllReduceData {
+  std::vector<std::vector<float>> w;  // [pe][m * k_local]
+  std::vector<std::vector<float>> x;  // [pe][k_local]
+  shmem::SymArray<float>* y = nullptr;  // [pe][m] final reduced output
+
+  static GemvAllReduceData random(const GemvAllReduceConfig& cfg, int num_pes,
+                                  shmem::SymArray<float>* y,
+                                  std::uint64_t seed);
+};
+
+class FusedGemvAllReduce {
+ public:
+  FusedGemvAllReduce(shmem::World& world, GemvAllReduceConfig cfg,
+                     GemvAllReduceData* data);
+
+  sim::Co run();
+  OperatorResult run_to_completion();
+  const OperatorResult& result() const { return result_; }
+
+  /// Owner (reducing PE) of a tile: contiguous 1/N ranges.
+  PeId owner_of_tile(int tile) const;
+  int active_slots() const { return active_slots_; }
+
+  static gpu::KernelResources fused_resources();
+
+ private:
+  sim::Task slot_proc(sim::Engine& engine, PeId pe, int slot);
+  sim::Co compute_tile(PeId pe, int slot, int tile);
+  sim::Co reduce_and_broadcast(PeId pe, int slot);
+  std::size_t flag_index(PeId src, int slot) const;
+
+  shmem::World& world_;
+  GemvAllReduceConfig cfg_;
+  GemvAllReduceData* data_;
+  int num_pes_;
+  ops::GemvShape shape_;
+  int num_tiles_;
+  int active_slots_ = 1;
+
+  // Runtime state.
+  std::unique_ptr<shmem::FlagArray> arrive_flags_;     // [pe][src*slots+slot]
+  std::unique_ptr<shmem::FlagArray> bcast_flags_;      // [pe][src*slots+slot]
+  std::vector<std::vector<float>> local_partial_;      // [pe][m] (functional)
+  // temp_[owner][src][m]: partials stored by peers into the owner's
+  // reduction buffer (functional).
+  std::vector<std::vector<std::vector<float>>> temp_;
+  std::vector<std::unique_ptr<sim::JoinCounter>> pe_done_;
+  OperatorResult result_;
+};
+
+class BaselineGemvAllReduce {
+ public:
+  BaselineGemvAllReduce(shmem::World& world, GemvAllReduceConfig cfg,
+                        GemvAllReduceData* data,
+                        ccl::AllReduceAlgo algo = ccl::AllReduceAlgo::kTwoPhaseDirect);
+
+  sim::Co run();
+  OperatorResult run_to_completion();
+  const OperatorResult& result() const { return result_; }
+
+  static gpu::KernelResources baseline_resources();
+
+ private:
+  sim::Co gemv_kernel(PeId pe);
+
+  shmem::World& world_;
+  GemvAllReduceConfig cfg_;
+  GemvAllReduceData* data_;
+  ccl::AllReduceAlgo algo_;
+  ccl::Communicator comm_;
+  std::vector<std::vector<float>> partial_;  // [pe][m] (functional)
+  OperatorResult result_;
+};
+
+}  // namespace fcc::fused

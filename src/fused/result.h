@@ -1,0 +1,21 @@
+// Shared result record for fused/baseline operator runs.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace fcc::fused {
+
+struct OperatorResult {
+  TimeNs start = 0;
+  TimeNs end = 0;
+  std::vector<TimeNs> pe_end;  // per-PE completion (skew studies, Fig. 14)
+
+  TimeNs duration() const { return end - start; }
+
+  /// Relative completion spread across PEs: (latest - earliest) / span.
+  double skew() const;
+};
+
+}  // namespace fcc::fused

@@ -1,0 +1,120 @@
+// Slice mapping for the fused embedding + All-to-All operator.
+//
+// One logical WG pools one output vector (table t, global sample b). A
+// *slice* is the communication unit: `vectors_per_slice` consecutive samples
+// of one table, all bound for the same destination PE (the PE that owns that
+// slice of the global batch). The last WG to finish a slice ships it.
+//
+// Destination layout (what the paper calls "{local batch, numTables x
+// embedding dim}"): on PE d, row = local sample, column block = global table
+// id — so the All-to-All lands data pre-shuffled for the interaction op.
+#pragma once
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace fcc::fused {
+
+struct SliceMap {
+  int num_pes = 1;
+  int tables_per_pe = 1;
+  int global_batch = 1;
+  int dim = 1;
+  int vectors_per_slice = 32;
+
+  void validate() const {
+    FCC_CHECK(num_pes >= 1);
+    FCC_CHECK(tables_per_pe >= 1);
+    FCC_CHECK(dim >= 1);
+    FCC_CHECK(global_batch % num_pes == 0);
+    FCC_CHECK(vectors_per_slice >= 1);
+    FCC_CHECK_MSG(local_batch() % vectors_per_slice == 0,
+                  "slice size must divide the per-PE batch: local_batch="
+                      << local_batch() << " vps=" << vectors_per_slice);
+  }
+
+  int local_batch() const { return global_batch / num_pes; }
+
+  /// ---- logical WG indexing (per source PE) ----
+  /// Sample-major, matching the paper's Fig. 6a numbering: WG (0,0,0)
+  /// onwards walks the batch first, tables within a sample. Under the
+  /// oblivious schedule this computes ALL locally-consumed output before
+  /// any remote output on PE 0 — the pathology Fig. 14 measures.
+  int num_logical_wgs() const { return tables_per_pe * global_batch; }
+  int wg_table(int lw) const { return lw % tables_per_pe; }
+  int wg_sample(int lw) const { return lw / tables_per_pe; }
+  int wg_of(int table, int sample) const {
+    return sample * tables_per_pe + table;
+  }
+
+  /// Destination PE of global sample b.
+  PeId dest_of_sample(int b) const { return b / local_batch(); }
+  bool wg_is_remote(PeId self, int lw) const {
+    return dest_of_sample(wg_sample(lw)) != self;
+  }
+
+  /// ---- slice indexing (per source PE) ----
+  int slices_per_dest_per_table() const {
+    return local_batch() / vectors_per_slice;
+  }
+  int num_slices() const {
+    return tables_per_pe * num_pes * slices_per_dest_per_table();
+  }
+  int wgs_per_slice() const { return vectors_per_slice; }
+
+  /// Slice that logical WG `lw` contributes to.
+  int slice_of_wg(int lw) const {
+    const int t = wg_table(lw);
+    const int b = wg_sample(lw);
+    const int d = dest_of_sample(b);
+    const int g = (b % local_batch()) / vectors_per_slice;
+    return (t * num_pes + d) * slices_per_dest_per_table() + g;
+  }
+  /// Position of the WG's vector within its slice.
+  int lane_in_slice(int lw) const {
+    return (wg_sample(lw) % local_batch()) % vectors_per_slice;
+  }
+
+  int slice_table(int s) const {
+    return s / (num_pes * slices_per_dest_per_table());
+  }
+  PeId slice_dest(int s) const {
+    return (s / slices_per_dest_per_table()) % num_pes;
+  }
+  int slice_group(int s) const { return s % slices_per_dest_per_table(); }
+  /// First global sample covered by slice s.
+  int slice_sample_begin(int s) const {
+    return slice_dest(s) * local_batch() + slice_group(s) * vectors_per_slice;
+  }
+
+  Bytes slice_bytes() const {
+    return static_cast<Bytes>(vectors_per_slice) * dim * 4;
+  }
+
+  /// ---- destination buffer layout on PE d ----
+  /// Output element (local row lb, global table gt, component c):
+  std::size_t dest_offset(int lb, int global_table, int c) const {
+    return (static_cast<std::size_t>(lb) * (tables_per_pe * num_pes) +
+            static_cast<std::size_t>(global_table)) *
+               static_cast<std::size_t>(dim) +
+           static_cast<std::size_t>(c);
+  }
+  std::size_t dest_elems() const {
+    return static_cast<std::size_t>(local_batch()) *
+           static_cast<std::size_t>(tables_per_pe * num_pes) *
+           static_cast<std::size_t>(dim);
+  }
+  int global_table(PeId src, int local_table) const {
+    return src * tables_per_pe + local_table;
+  }
+
+  /// Number of slices on PE `self` whose destination is `self` / remote.
+  int num_local_slices(PeId) const {
+    return tables_per_pe * slices_per_dest_per_table();
+  }
+  int num_remote_slices(PeId self) const {
+    return num_slices() - num_local_slices(self);
+  }
+};
+
+}  // namespace fcc::fused

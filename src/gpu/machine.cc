@@ -1,0 +1,38 @@
+#include "gpu/machine.h"
+
+#include <string>
+
+namespace fcc::gpu {
+
+Machine::Machine(const Config& config)
+    : config_(config), trace_(config.collect_trace) {
+  FCC_CHECK(config.num_nodes >= 1);
+  FCC_CHECK(config.gpus_per_node >= 1);
+  const int pes = config.num_nodes * config.gpus_per_node;
+  devices_.reserve(pes);
+  for (PeId pe = 0; pe < pes; ++pe) {
+    devices_.push_back(std::make_unique<Device>(engine_, pe, config.gpu));
+  }
+  fabrics_.reserve(config.num_nodes);
+  nics_.reserve(config.num_nodes);
+  for (NodeId n = 0; n < config.num_nodes; ++n) {
+    fabrics_.push_back(
+        std::make_unique<hw::Fabric>(config.gpus_per_node, config.fabric));
+    nics_.push_back(
+        std::make_unique<hw::Nic>("node" + std::to_string(n), config.ib));
+  }
+}
+
+TimeNs Machine::remote_write_time(PeId src, PeId dst, Bytes bytes,
+                                  TimeNs ready) {
+  FCC_CHECK(src >= 0 && src < num_pes());
+  FCC_CHECK(dst >= 0 && dst < num_pes());
+  if (src == dst) return ready;  // local store: charged as compute, not comm
+  if (same_node(src, dst)) {
+    return fabric(node_of(src))
+        .transfer(local_index(src), local_index(dst), bytes, ready);
+  }
+  return nic(node_of(src)).post(ready, bytes);
+}
+
+}  // namespace fcc::gpu

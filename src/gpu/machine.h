@@ -1,0 +1,73 @@
+// Machine: the full simulated platform (nodes x GPUs, fabric, NICs).
+//
+// Owns the event engine, one Device per PE, one Fabric per node, and one
+// NIC per node. The shmem and collective layers route every byte through
+// `remote_write_time`, so intra- vs inter-node paths share one entry point.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "gpu/device.h"
+#include "hw/fabric.h"
+#include "hw/gpu_spec.h"
+#include "hw/nic.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+namespace fcc::gpu {
+
+class Machine {
+ public:
+  struct Config {
+    int num_nodes = 1;
+    int gpus_per_node = 4;
+    hw::GpuSpec gpu;
+    hw::FabricSpec fabric;
+    hw::IbSpec ib;
+    bool collect_trace = false;
+  };
+
+  explicit Machine(const Config& config);
+
+  sim::Engine& engine() { return engine_; }
+  sim::Trace& trace() { return trace_; }
+  const Config& config() const { return config_; }
+
+  int num_pes() const { return static_cast<int>(devices_.size()); }
+  int num_nodes() const { return config_.num_nodes; }
+  int gpus_per_node() const { return config_.gpus_per_node; }
+
+  Device& device(PeId pe) { return *devices_.at(pe); }
+  const Device& device(PeId pe) const { return *devices_.at(pe); }
+
+  NodeId node_of(PeId pe) const {
+    FCC_DCHECK(pe >= 0 && pe < num_pes());
+    return pe / config_.gpus_per_node;
+  }
+  int local_index(PeId pe) const { return pe % config_.gpus_per_node; }
+  PeId pe_of(NodeId node, int local) const {
+    return node * config_.gpus_per_node + local;
+  }
+  bool same_node(PeId a, PeId b) const { return node_of(a) == node_of(b); }
+
+  hw::Fabric& fabric(NodeId node) { return *fabrics_.at(node); }
+  hw::Nic& nic(NodeId node) { return *nics_.at(node); }
+
+  /// Time at which `bytes` written by `src` become visible at `dst`,
+  /// when the write is issued at `ready`. Same-node writes ride the fabric;
+  /// cross-node writes ride the source node's NIC.
+  TimeNs remote_write_time(PeId src, PeId dst, Bytes bytes, TimeNs ready);
+
+ private:
+  Config config_;
+  sim::Engine engine_;
+  sim::Trace trace_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<std::unique_ptr<hw::Fabric>> fabrics_;
+  std::vector<std::unique_ptr<hw::Nic>> nics_;
+};
+
+}  // namespace fcc::gpu

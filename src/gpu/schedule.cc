@@ -1,0 +1,30 @@
+#include "gpu/schedule.h"
+
+#include "common/check.h"
+
+namespace fcc::gpu {
+
+std::vector<int> make_schedule(int n, SchedulePolicy policy,
+                               const std::function<bool(int)>& is_remote) {
+  FCC_CHECK(n >= 0);
+  std::vector<int> order;
+  order.reserve(n);
+  switch (policy) {
+    case SchedulePolicy::kOblivious:
+      for (int i = 0; i < n; ++i) order.push_back(i);
+      break;
+    case SchedulePolicy::kCommAware:
+      // Stable two-pass partition keeps intra-class order sequential, which
+      // preserves slice contiguity (WGs of one slice stay adjacent).
+      for (int i = 0; i < n; ++i) {
+        if (is_remote(i)) order.push_back(i);
+      }
+      for (int i = 0; i < n; ++i) {
+        if (!is_remote(i)) order.push_back(i);
+      }
+      break;
+  }
+  return order;
+}
+
+}  // namespace fcc::gpu

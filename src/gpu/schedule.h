@@ -1,0 +1,25 @@
+// Logical-workgroup execution-order policies.
+//
+// The paper's communication-aware scheduling runs logical WGs that produce
+// remotely-consumed slices *before* those producing locally-consumed ones,
+// maximizing the window in which remote transfers overlap local compute
+// (Figs. 6b / 14). The oblivious baseline starts from WG (0,0,0) and
+// proceeds sequentially.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace fcc::gpu {
+
+enum class SchedulePolicy {
+  kOblivious,  // sequential logical-WG order
+  kCommAware,  // remote-slice producers first (stable within each class)
+};
+
+/// Builds the execution order of `n` logical WGs. `is_remote(lw)` says
+/// whether logical WG `lw`'s output leaves this GPU.
+std::vector<int> make_schedule(int n, SchedulePolicy policy,
+                               const std::function<bool(int)>& is_remote);
+
+}  // namespace fcc::gpu

@@ -1,0 +1,71 @@
+// Host-side in-order stream.
+//
+// Kernel-boundary execution (the bulk-synchronous baseline) pays a launch
+// latency per kernel and a host synchronization at each boundary; this class
+// models exactly those costs. Items chain on the previous item's completion,
+// so multiple streams naturally interleave on the virtual timeline.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "hw/gpu_spec.h"
+#include "sim/co.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace fcc::gpu {
+
+class Stream {
+ public:
+  using Work = std::function<sim::Co()>;
+
+  Stream(sim::Engine& engine, const hw::GpuSpec& spec)
+      : engine_(engine), spec_(spec) {}
+
+  /// Enqueues a kernel: runs after everything previously enqueued. The
+  /// host issues launches asynchronously, so the launch latency of item i
+  /// overlaps the execution of item i-1 (only exposed when the stream is
+  /// idle) — the standard stream-pipelining behaviour kernel-boundary
+  /// baselines rely on.
+  std::shared_ptr<sim::OneShot> enqueue(Work work) {
+    auto prev = last_;
+    auto done = std::make_shared<sim::OneShot>(engine_);
+    const TimeNs launch_ready = engine_.now() + spec_.kernel_launch_ns +
+                                enqueued_ * kHostIssueGapNs;
+    ++enqueued_;
+    item_proc(engine_, std::move(prev), done, std::move(work), launch_ready);
+    last_ = done;
+    return done;
+  }
+
+  /// Awaitable host synchronization: waits for the stream to drain, then
+  /// charges the host sync latency.
+  sim::Co sync() {
+    if (last_) co_await last_->wait();
+    co_await sim::delay(engine_, spec_.stream_sync_ns);
+  }
+
+  /// Host-side cost of issuing one enqueue into the stream ring buffer.
+  static constexpr TimeNs kHostIssueGapNs = 800;
+
+ private:
+  sim::Task item_proc(sim::Engine& engine, std::shared_ptr<sim::OneShot> prev,
+                      std::shared_ptr<sim::OneShot> done, Work work,
+                      TimeNs launch_ready) {
+    if (prev) co_await prev->wait();
+    co_await sim::delay_until(engine, launch_ready);
+    co_await work();
+    done->set();
+  }
+
+  sim::Engine& engine_;
+  hw::GpuSpec spec_;
+  std::shared_ptr<sim::OneShot> last_;
+  int enqueued_ = 0;
+};
+
+}  // namespace fcc::gpu

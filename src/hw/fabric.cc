@@ -1,0 +1,38 @@
+#include "hw/fabric.h"
+
+#include <algorithm>
+
+namespace fcc::hw {
+
+Fabric::Fabric(int num_ports, const FabricSpec& spec) : spec_(spec) {
+  FCC_CHECK(num_ports >= 1);
+  egress_.reserve(num_ports);
+  ingress_.reserve(num_ports);
+  for (int p = 0; p < num_ports; ++p) {
+    egress_.push_back(std::make_unique<Link>(
+        "gpu" + std::to_string(p) + ".egress", spec.port_bytes_per_ns,
+        /*latency_ns=*/0));
+    ingress_.push_back(std::make_unique<Link>(
+        "gpu" + std::to_string(p) + ".ingress", spec.port_bytes_per_ns,
+        /*latency_ns=*/0));
+  }
+}
+
+TimeNs Fabric::transfer(int src, int dst, Bytes bytes, TimeNs ready) {
+  FCC_CHECK(src >= 0 && src < num_ports());
+  FCC_CHECK(dst >= 0 && dst < num_ports());
+  FCC_CHECK_MSG(src != dst, "fabric transfer to self (use local stores)");
+  Link& out = *egress_[src];
+  Link& in = *ingress_[dst];
+
+  const TimeNs start =
+      std::max(out.earliest_start(ready), in.earliest_start(ready));
+  const TimeNs end = start + out.occupancy(bytes);
+  out.occupy_interval(start, end);
+  in.occupy_interval(start, end);
+  out.add_bytes(bytes);
+  total_bytes_ += bytes;
+  return end + spec_.latency_ns;
+}
+
+}  // namespace fcc::hw

@@ -1,0 +1,45 @@
+// Intra-node GPU fabric (Infinity Fabric class), fully connected.
+//
+// Each GPU owns an egress port and an ingress port of `port_bytes_per_ns`
+// capacity. A peer-to-peer transfer occupies *both* endpoints for its
+// serialization time (cut-through, reserved jointly, so bytes are never
+// double-counted). Port sharing across concurrent peers is the contention
+// mechanism behind the paper's Fig. 9 droop at M = 64k.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "hw/gpu_spec.h"
+#include "hw/link.h"
+
+namespace fcc::hw {
+
+class Fabric {
+ public:
+  Fabric(int num_ports, const FabricSpec& spec);
+
+  int num_ports() const { return static_cast<int>(egress_.size()); }
+  const FabricSpec& spec() const { return spec_; }
+
+  /// Moves `bytes` from GPU `src` to GPU `dst`, ready at `ready`. Returns
+  /// the time the data is visible in `dst` memory.
+  TimeNs transfer(int src, int dst, Bytes bytes, TimeNs ready);
+
+  const Link& egress(int port) const { return *egress_.at(port); }
+  const Link& ingress(int port) const { return *ingress_.at(port); }
+
+  /// Total payload bytes moved through the fabric so far.
+  Bytes total_bytes() const { return total_bytes_; }
+
+ private:
+  FabricSpec spec_;
+  std::vector<std::unique_ptr<Link>> egress_;
+  std::vector<std::unique_ptr<Link>> ingress_;
+  Bytes total_bytes_ = 0;
+};
+
+}  // namespace fcc::hw

@@ -1,0 +1,80 @@
+// GPU device specification (MI210-class defaults).
+//
+// Only the properties the paper's effects depend on are modeled: CU count
+// and WG-slot limits (occupancy), register file size (ROC_SHMEM's register
+// cost lowers fused-kernel occupancy), HBM bandwidth, ALU throughput, and
+// host-side launch/sync latencies (what kernel-boundary communication pays).
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace fcc::hw {
+
+struct GpuSpec {
+  std::string name = "sim-mi210";
+
+  /// Compute units and per-CU workgroup slots (hardware scheduler limit).
+  int num_cus = 104;
+  int max_wgs_per_cu = 8;
+
+  /// Register file per CU, in 32-bit VGPRs (4 SIMDs x 64 KB on CDNA2).
+  int vgprs_per_cu = 262144;
+
+  /// Peak HBM bandwidth (HBM2e): ~1.6 TB/s => 1638 bytes per ns.
+  double hbm_bytes_per_ns = 1638.0;
+
+  /// Peak fp32 vector throughput: 22.6 TFLOP/s => 22600 flops per ns.
+  double fp32_flops_per_ns = 22600.0;
+
+  /// Concurrent WGs needed to saturate the SIMDs (~4 waves per CU hides
+  /// ALU latency); beyond this, extra occupancy adds no ALU throughput,
+  /// which is why a 12.5% occupancy loss doesn't slow compute-bound GEMMs.
+  int alu_saturation_wgs = 416;
+
+  /// Host-initiated kernel-launch latency (HIP-order-of-magnitude).
+  TimeNs kernel_launch_ns = 4000;
+
+  /// Host-side stream synchronization latency at a kernel boundary.
+  TimeNs stream_sync_ns = 2000;
+
+  int max_wg_slots() const { return num_cus * max_wgs_per_cu; }
+};
+
+/// Intra-node interconnect (Infinity Fabric class). The paper's Table I:
+/// four GPUs fully connected at 80 GB/s. We model 80 GB/s of egress and
+/// ingress per GPU *port*; peer-to-peer transfers occupy both endpoint
+/// ports, which is what creates the large-message contention of Fig. 9.
+struct FabricSpec {
+  double port_bytes_per_ns = 80.0;  // 80 GB/s
+  TimeNs latency_ns = 700;
+  /// Issue cost paid by a GPU thread-block for one remote store burst
+  /// (address generation + write-combining flush).
+  TimeNs store_issue_overhead_ns = 150;
+};
+
+/// Inter-node RDMA NIC (InfiniBand class). Table I: 20 GB/s.
+struct IbSpec {
+  double wire_bytes_per_ns = 20.0;  // 20 GB/s
+  TimeNs wire_latency_ns = 1500;
+  /// NIC message-processing serialization per posted descriptor.
+  TimeNs per_msg_proc_ns = 250;
+  /// GPU-side latency of posting one RDMA descriptor from a kernel
+  /// (ROC_SHMEM put_nbi path: ring doorbell via per-WG queue pair).
+  TimeNs gpu_post_overhead_ns = 800;
+};
+
+/// The evaluation platform of Table I, bundled so benches can print it.
+struct SystemSetup {
+  GpuSpec gpu;
+  FabricSpec fabric;
+  IbSpec ib;
+  int scale_up_gpus = 4;
+  int scale_out_nodes = 2;
+  int gpus_per_node_scale_out = 1;
+  std::string software =
+      "fcc simulator (PyTorch/ROCm/ROC_SHMEM substituted per DESIGN.md)";
+};
+
+}  // namespace fcc::hw

@@ -1,0 +1,63 @@
+// HBM bandwidth-contention model.
+//
+// Effective aggregate bandwidth as a function of concurrently active WGs:
+//
+//   f = active / max_slots          (occupancy fraction)
+//   f <= knee:  BW(f) = peak * (base + (1 - base) * f / knee)
+//   f >  knee:  BW(f) = peak * (1 - degrade * (f - knee) / (1 - knee))
+//
+// The ramp models memory-level parallelism: a single WG already extracts
+// `base` of peak (deep per-WG MLP), and the device saturates at the knee.
+// `degrade` models row-buffer/queueing losses past the knee and is a
+// *kernel property* (memory-intensive fused kernels set it > 0; compute
+// kernels leave it 0). This one curve reproduces the paper's Fig. 13:
+// execution time falls 25% -> 75% occupancy, then rises at 87.5%.
+#pragma once
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fcc::hw {
+
+struct HbmCurve {
+  double base_frac = 0.31;   // fraction of peak from minimal occupancy
+  double knee_frac = 0.75;   // occupancy fraction where BW saturates
+  double over_knee_degrade = 0.40;  // loss at 100% occupancy (0 = flat)
+};
+
+class HbmModel {
+ public:
+  HbmModel(double peak_bytes_per_ns, int max_wg_slots)
+      : peak_(peak_bytes_per_ns), max_slots_(max_wg_slots) {
+    FCC_CHECK(peak_ > 0);
+    FCC_CHECK(max_slots_ > 0);
+  }
+
+  double peak() const { return peak_; }
+  int max_slots() const { return max_slots_; }
+
+  /// Aggregate deliverable bandwidth with `active` concurrently running WGs.
+  double total_bandwidth(int active, const HbmCurve& c = {}) const {
+    if (active <= 0) return 0.0;
+    const double f = std::min(
+        1.0, static_cast<double>(active) / static_cast<double>(max_slots_));
+    if (f <= c.knee_frac) {
+      return peak_ * (c.base_frac + (1.0 - c.base_frac) * f / c.knee_frac);
+    }
+    const double over = (f - c.knee_frac) / (1.0 - c.knee_frac);
+    return peak_ * (1.0 - c.over_knee_degrade * over);
+  }
+
+  /// Bandwidth one WG sees when `active` WGs are running.
+  double per_wg_bandwidth(int active, const HbmCurve& c = {}) const {
+    FCC_CHECK(active > 0);
+    return total_bandwidth(active, c) / static_cast<double>(active);
+  }
+
+ private:
+  double peak_;
+  int max_slots_;
+};
+
+}  // namespace fcc::hw

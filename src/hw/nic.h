@@ -1,0 +1,49 @@
+// RDMA NIC model.
+//
+// A posted message is (1) serialized through the NIC's descriptor processor
+// (per-message cost), then (2) serialized over the wire at link bandwidth,
+// then (3) delivered after the wire latency. The GPU-side posting overhead
+// (doorbell from a kernel) is charged to the issuing WG by the shmem layer,
+// not here, because it consumes GPU time rather than NIC time.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "hw/gpu_spec.h"
+#include "hw/link.h"
+
+namespace fcc::hw {
+
+class Nic {
+ public:
+  Nic(std::string name, const IbSpec& spec)
+      : name_(std::move(name)),
+        spec_(spec),
+        wire_(name_ + ".wire", spec.wire_bytes_per_ns, spec.wire_latency_ns) {}
+
+  const std::string& name() const { return name_; }
+  const IbSpec& spec() const { return spec_; }
+
+  /// Posts one RDMA write of `bytes`, ready at `ready`. Returns the time the
+  /// payload is fully visible in remote memory.
+  TimeNs post(TimeNs ready, Bytes bytes) {
+    const TimeNs proc_start = ready > proc_free_ ? ready : proc_free_;
+    const TimeNs proc_end = proc_start + spec_.per_msg_proc_ns;
+    proc_free_ = proc_end;
+    ++messages_;
+    return wire_.submit(proc_end, bytes);
+  }
+
+  std::int64_t messages() const { return messages_; }
+  const Link& wire() const { return wire_; }
+
+ private:
+  std::string name_;
+  IbSpec spec_;
+  Link wire_;
+  TimeNs proc_free_ = 0;
+  std::int64_t messages_ = 0;
+};
+
+}  // namespace fcc::hw

@@ -1,0 +1,41 @@
+#include "ops/gemm.h"
+
+namespace fcc::ops {
+
+std::vector<float> gemm_reference(const GemmShape& s,
+                                  std::span<const float> a,
+                                  std::span<const float> b) {
+  FCC_CHECK(static_cast<std::size_t>(s.m) * s.k == a.size());
+  FCC_CHECK(static_cast<std::size_t>(s.k) * s.n == b.size());
+  std::vector<float> c(static_cast<std::size_t>(s.m) * s.n, 0.0f);
+  for (int i = 0; i < s.m; ++i) {
+    for (int p = 0; p < s.k; ++p) {
+      const float av = a[static_cast<std::size_t>(i) * s.k + p];
+      const auto* brow = &b[static_cast<std::size_t>(p) * s.n];
+      auto* crow = &c[static_cast<std::size_t>(i) * s.n];
+      for (int j = 0; j < s.n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+void gemm_tile(const GemmShape& s, std::span<const float> a,
+               std::span<const float> b, int tile, std::span<float> out) {
+  const int r0 = s.row_begin(tile), r1 = s.row_end(tile);
+  const int c0 = s.col_begin(tile), c1 = s.col_end(tile);
+  const int cols = c1 - c0;
+  FCC_CHECK(static_cast<int>(out.size()) >= (r1 - r0) * cols);
+  for (int i = r0; i < r1; ++i) {
+    for (int j = c0; j < c1; ++j) {
+      double acc = 0;
+      for (int p = 0; p < s.k; ++p) {
+        acc += static_cast<double>(a[static_cast<std::size_t>(i) * s.k + p]) *
+               b[static_cast<std::size_t>(p) * s.n + j];
+      }
+      out[static_cast<std::size_t>(i - r0) * cols + (j - c0)] =
+          static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace fcc::ops

@@ -1,0 +1,46 @@
+// Matrix-matrix multiply with Triton-style 2D output tiling.
+//
+// C (m x n) = A (m x k) * B (k x n), row major. Logical WGs own BM x BN
+// output tiles; the fused GEMM+All-to-All operator ships whole tiles to
+// their destination GPU as soon as they finish.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fcc::ops {
+
+struct GemmShape {
+  int m = 0, n = 0, k = 0;
+  int block_m = 64, block_n = 64;
+
+  int tiles_m() const { return (m + block_m - 1) / block_m; }
+  int tiles_n() const { return (n + block_n - 1) / block_n; }
+  int num_tiles() const { return tiles_m() * tiles_n(); }
+  int tile_row(int t) const { return t / tiles_n(); }
+  int tile_col(int t) const { return t % tiles_n(); }
+  int row_begin(int t) const { return tile_row(t) * block_m; }
+  int row_end(int t) const {
+    const int e = row_begin(t) + block_m;
+    return e < m ? e : m;
+  }
+  int col_begin(int t) const { return tile_col(t) * block_n; }
+  int col_end(int t) const {
+    const int e = col_begin(t) + block_n;
+    return e < n ? e : n;
+  }
+};
+
+/// Reference full C = A * B.
+std::vector<float> gemm_reference(const GemmShape& s,
+                                  std::span<const float> a,
+                                  std::span<const float> b);
+
+/// One output tile, written at tile-local row-major layout into `out`
+/// (rows = row_end-row_begin, cols = col_end-col_begin).
+void gemm_tile(const GemmShape& s, std::span<const float> a,
+               std::span<const float> b, int tile, std::span<float> out);
+
+}  // namespace fcc::ops

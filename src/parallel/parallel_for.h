@@ -1,0 +1,40 @@
+// parallel_for over an index range, chunked across a ThreadPool.
+//
+// Used by benches to run independent simulation configs concurrently and by
+// host reference kernels in tests; the body must be thread-safe for distinct
+// indices (pure data parallelism, no shared mutable state).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/check.h"
+#include "parallel/thread_pool.h"
+
+namespace fcc::par {
+
+/// Invokes `body(i)` for i in [begin, end) using `pool`. Blocks until done.
+inline void parallel_for(ThreadPool& pool, std::int64_t begin,
+                         std::int64_t end,
+                         const std::function<void(std::int64_t)>& body,
+                         std::int64_t grain = 1) {
+  FCC_CHECK(begin <= end);
+  FCC_CHECK(grain >= 1);
+  if (begin == end) return;
+  for (std::int64_t lo = begin; lo < end; lo += grain) {
+    const std::int64_t hi = std::min(lo + grain, end);
+    pool.submit([lo, hi, &body] {
+      for (std::int64_t i = lo; i < hi; ++i) body(i);
+    });
+  }
+  pool.wait_idle();
+}
+
+/// Serial fallback with the same signature (useful under FCC_DETERMINISTIC
+/// sweeps where even completion *ordering* of prints matters).
+inline void serial_for(std::int64_t begin, std::int64_t end,
+                       const std::function<void(std::int64_t)>& body) {
+  for (std::int64_t i = begin; i < end; ++i) body(i);
+}
+
+}  // namespace fcc::par

@@ -1,0 +1,47 @@
+// Host-side thread pool.
+//
+// The discrete-event simulator itself is single-threaded (determinism), but
+// benches run many *independent* simulations per sweep; the pool lets those
+// run concurrently. Follows CP.20/CP.23 (RAII joining, no detached threads).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fcc::par {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects hardware_concurrency (min 1).
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw; exceptions terminate (tasks are
+  /// simulation drivers that report failures through their own results).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace fcc::par

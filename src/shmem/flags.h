@@ -1,0 +1,107 @@
+// Symmetric flag arrays with awaitable readiness (sliceRdy analog).
+//
+// Flags live in symmetric memory; producers set them via remote PUTs (the
+// shmem world delivers the write at the modeled arrival time), consumers
+// `co_await wait_ge(...)`. Waiting is condition-based rather than busy-poll:
+// a GPU WG spinning on a cached flag consumes negligible memory bandwidth,
+// so the idealization costs nothing in timing and keeps event counts linear.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "sim/co.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+
+namespace fcc::shmem {
+
+class FlagArray {
+ public:
+  FlagArray(sim::Engine& engine, int num_pes, std::size_t n)
+      : engine_(engine),
+        values_(static_cast<std::size_t>(num_pes),
+                std::vector<std::uint64_t>(n, 0)),
+        conds_(static_cast<std::size_t>(num_pes)) {
+    for (auto& c : conds_) c.resize(n);
+  }
+
+  std::size_t size() const { return values_.empty() ? 0 : values_[0].size(); }
+  int num_pes() const { return static_cast<int>(values_.size()); }
+
+  std::uint64_t read(PeId pe, std::size_t i) const {
+    return values_[idx(pe)][i];
+  }
+
+  /// Local (or delivered-remote) store to the flag; wakes waiters.
+  void set(PeId pe, std::size_t i, std::uint64_t v) {
+    values_[idx(pe)][i] = v;
+    auto& c = conds_[idx(pe)][i];
+    if (c) c->notify_all();
+  }
+
+  /// Fetch-add used for arrival counters; wakes waiters; returns new value.
+  std::uint64_t add(PeId pe, std::size_t i, std::uint64_t v) {
+    values_[idx(pe)][i] += v;
+    auto& c = conds_[idx(pe)][i];
+    if (c) c->notify_all();
+    return values_[idx(pe)][i];
+  }
+
+  /// Awaitable: suspends until flag[pe][i] >= v (shmem_wait_until analog).
+  sim::Co wait_ge(PeId pe, std::size_t i, std::uint64_t v) {
+    while (values_[idx(pe)][i] < v) {
+      auto& c = conds_[idx(pe)][i];
+      if (!c) c = std::make_unique<sim::Condition>(engine_);
+      co_await c->wait();
+    }
+  }
+
+ private:
+  std::size_t idx(PeId pe) const {
+    FCC_DCHECK(pe >= 0 && pe < num_pes());
+    return static_cast<std::size_t>(pe);
+  }
+
+  sim::Engine& engine_;
+  std::vector<std::vector<std::uint64_t>> values_;
+  std::vector<std::vector<std::unique_ptr<sim::Condition>>> conds_;
+};
+
+/// WG-completion bitmask for one slice (WG_Done analog). The last WG to set
+/// its bit learns it is last — the paper implements the reduction with
+/// cross-lane operations instead of an inter-WG barrier; here the claim
+/// check is exact and race-free because the engine is serial. Multi-word so
+/// slices may span more than 64 logical WGs.
+class WgDoneMask {
+ public:
+  explicit WgDoneMask(int num_wgs) : expected_(num_wgs) {
+    FCC_CHECK(num_wgs >= 1);
+    words_.assign(static_cast<std::size_t>((num_wgs + 63) / 64), 0);
+  }
+
+  /// Sets bit `wg`; returns true iff this made the mask complete (the caller
+  /// is the last finishing WG and must issue the slice's communication).
+  bool set_and_check_last(int wg) {
+    FCC_DCHECK(wg >= 0 && wg < expected_);
+    auto& word = words_[static_cast<std::size_t>(wg / 64)];
+    const std::uint64_t bit = std::uint64_t{1} << (wg % 64);
+    FCC_CHECK_MSG((word & bit) == 0, "WG done-bit set twice");
+    word |= bit;
+    ++count_;
+    return count_ == expected_;
+  }
+
+  bool complete() const { return count_ == expected_; }
+  std::uint64_t mask() const { return words_.front(); }
+
+ private:
+  int expected_;
+  int count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace fcc::shmem

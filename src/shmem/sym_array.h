@@ -1,0 +1,56 @@
+// Typed symmetric array (roc_shmem_malloc analog).
+//
+// One handle, per-PE storage: the same logical offset is valid on every PE,
+// which is what lets a remote PUT target "the peer's copy of this buffer".
+// In timing-only runs (large benches) the backing storage is elided — the
+// simulation then moves bytes but not values.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace fcc::shmem {
+
+template <typename T>
+class SymArray {
+ public:
+  /// `functional == false` skips allocation (timing-only simulations).
+  SymArray(int num_pes, std::size_t elems, bool functional = true,
+           T init = T{})
+      : num_pes_(num_pes), elems_(elems), functional_(functional) {
+    FCC_CHECK(num_pes >= 1);
+    if (functional_) {
+      data_.resize(static_cast<std::size_t>(num_pes),
+                   std::vector<T>(elems, init));
+    }
+  }
+
+  int num_pes() const { return num_pes_; }
+  std::size_t size() const { return elems_; }
+  bool functional() const { return functional_; }
+  Bytes size_bytes() const {
+    return static_cast<Bytes>(elems_ * sizeof(T));
+  }
+
+  std::span<T> pe(PeId pe) {
+    FCC_CHECK_MSG(functional_, "SymArray is timing-only (no storage)");
+    FCC_DCHECK(pe >= 0 && pe < num_pes_);
+    return std::span<T>(data_[static_cast<std::size_t>(pe)]);
+  }
+  std::span<const T> pe(PeId pe) const {
+    FCC_CHECK_MSG(functional_, "SymArray is timing-only (no storage)");
+    FCC_DCHECK(pe >= 0 && pe < num_pes_);
+    return std::span<const T>(data_[static_cast<std::size_t>(pe)]);
+  }
+
+ private:
+  int num_pes_;
+  std::size_t elems_;
+  bool functional_;
+  std::vector<std::vector<T>> data_;
+};
+
+}  // namespace fcc::shmem

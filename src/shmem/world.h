@@ -1,0 +1,127 @@
+// GPU-initiated communication world (ROC_SHMEM analog).
+//
+// `put_nbi` is issued from inside a workgroup coroutine: the issuing WG pays
+// the API/issue latency, the payload's channel occupancy is reserved at
+// issue time (DMA-queue semantics), and an optional delivery callback runs
+// when the bytes land at the destination — that is where functional-mode
+// memcpys and remote flag stores happen.
+//
+// Ordering model: each (src→dst) channel (fabric port pair or NIC) is FIFO,
+// so a PUT issued after another on the same channel also delivers after it.
+// `fence()` therefore costs only its instruction latency — matching the HDP
+// flush + ordering semantics the paper relies on — and `quiet()` waits for
+// all of this PE's outstanding deliveries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "gpu/machine.h"
+#include "sim/co.h"
+#include "sim/sync.h"
+
+namespace fcc::shmem {
+
+class World {
+ public:
+  /// Issue-cost classes for a PUT.
+  enum class IssueKind {
+    kRdma,       // post descriptor + doorbell from the kernel (scale-out)
+    kStore,      // direct remote stores over the fabric (scale-up zero-copy)
+    kNone,       // already accounted by the caller
+  };
+
+  explicit World(gpu::Machine& machine)
+      : machine_(machine),
+        outstanding_(static_cast<std::size_t>(machine.num_pes()), 0) {
+    drained_.reserve(static_cast<std::size_t>(machine.num_pes()));
+    for (int i = 0; i < machine.num_pes(); ++i) {
+      drained_.push_back(std::make_unique<sim::Condition>(machine.engine()));
+    }
+  }
+
+  gpu::Machine& machine() { return machine_; }
+  int n_pes() const { return machine_.num_pes(); }
+
+  /// Non-blocking PUT of `bytes` from `src` to `dst`. The coroutine returns
+  /// to the caller as soon as the issue cost has elapsed; `on_deliver` (may
+  /// be empty) runs when the data is visible at `dst`.
+  sim::Co put_nbi(PeId src, PeId dst, Bytes bytes, IssueKind kind,
+                  std::function<void()> on_deliver = {}) {
+    co_await issue_cost(src, dst, kind);
+    const TimeNs delivery =
+        machine_.remote_write_time(src, dst, bytes, machine_.engine().now());
+    start_tracking(src);
+    auto* self = this;
+    machine_.engine().schedule_at(
+        delivery, [self, src, cb = std::move(on_deliver)] {
+          if (cb) cb();
+          self->finish_tracking(src);
+        });
+    ++puts_issued_;
+  }
+
+  /// Orders prior PUTs from `src` before subsequent ones (per destination).
+  /// FIFO channels already guarantee this; only the instruction cost is
+  /// charged.
+  sim::Co fence(PeId src) {
+    co_await sim::delay(machine_.engine(), kFenceCostNs);
+    (void)src;
+  }
+
+  /// Blocks until every PUT issued by `src` has been delivered.
+  sim::Co quiet(PeId src) {
+    auto& count = outstanding_[static_cast<std::size_t>(src)];
+    while (count > 0) {
+      co_await drained_[static_cast<std::size_t>(src)]->wait();
+    }
+  }
+
+  std::int64_t puts_issued() const { return puts_issued_; }
+  int outstanding(PeId src) const {
+    return outstanding_[static_cast<std::size_t>(src)];
+  }
+
+  /// GPU-side issue latency for one PUT of the given kind.
+  TimeNs issue_latency(PeId src, PeId dst, IssueKind kind) const {
+    switch (kind) {
+      case IssueKind::kRdma:
+        return machine_.same_node(src, dst)
+                   ? machine_.config().fabric.store_issue_overhead_ns
+                   : machine_.config().ib.gpu_post_overhead_ns;
+      case IssueKind::kStore:
+        return machine_.config().fabric.store_issue_overhead_ns;
+      case IssueKind::kNone:
+        return 0;
+    }
+    return 0;
+  }
+
+  static constexpr TimeNs kFenceCostNs = 50;
+
+ private:
+  sim::Co issue_cost(PeId src, PeId dst, IssueKind kind) {
+    const TimeNs cost = issue_latency(src, dst, kind);
+    if (cost > 0) co_await machine_.device(src).busy_wait(cost);
+  }
+
+  void start_tracking(PeId src) {
+    ++outstanding_[static_cast<std::size_t>(src)];
+  }
+  void finish_tracking(PeId src) {
+    auto& count = outstanding_[static_cast<std::size_t>(src)];
+    FCC_CHECK(count > 0);
+    if (--count == 0) drained_[static_cast<std::size_t>(src)]->notify_all();
+  }
+
+  gpu::Machine& machine_;
+  std::vector<int> outstanding_;
+  std::vector<std::unique_ptr<sim::Condition>> drained_;
+  std::int64_t puts_issued_ = 0;
+};
+
+}  // namespace fcc::shmem

@@ -1,0 +1,166 @@
+// Synchronization primitives for simulated processes.
+//
+// All wakeups are funneled through the engine's event queue (never direct
+// handle.resume() from a notifier), so wake order is deterministic and a
+// notifier's stack never nests a resumed process.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/task.h"
+
+namespace fcc::sim {
+
+/// One-shot event: processes wait until some other process sets it. Waiting
+/// on an already-set OneShot does not suspend (still no queue round-trip:
+/// the waiter already established its position by running).
+class OneShot {
+ public:
+  explicit OneShot(Engine& e) : engine_(e) {}
+  OneShot(const OneShot&) = delete;
+  OneShot& operator=(const OneShot&) = delete;
+  ~OneShot() { FCC_CHECK_MSG(waiters_.empty(), "OneShot destroyed with waiters"); }
+
+  bool is_set() const { return set_; }
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) {
+      engine_.schedule_after(0, [h] { h.resume(); });
+    }
+    waiters_.clear();
+  }
+
+  auto wait() {
+    struct Awaiter {
+      OneShot& ev;
+      bool await_ready() const noexcept { return ev.set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        ev.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine& engine_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Broadcast condition: `notify_all()` wakes every process currently blocked
+/// in `wait()`. There is no predicate built in — waiters re-check their own
+/// predicate in a loop:
+///
+///   while (!ready()) co_await cond.wait();
+class Condition {
+ public:
+  explicit Condition(Engine& e) : engine_(e) {}
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+  ~Condition() {
+    FCC_CHECK_MSG(waiters_.empty(), "Condition destroyed with waiters");
+  }
+
+  void notify_all() {
+    for (auto h : waiters_) {
+      engine_.schedule_after(0, [h] { h.resume(); });
+    }
+    waiters_.clear();
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Condition& c;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { c.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  std::size_t num_waiters() const { return waiters_.size(); }
+
+ private:
+  Engine& engine_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore with FIFO handoff (a released permit goes to the
+/// longest-waiting process, not back to the pool, so no waiter starves).
+class Semaphore {
+ public:
+  Semaphore(Engine& e, std::int64_t initial) : engine_(e), count_(initial) {
+    FCC_CHECK(initial >= 0);
+  }
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+  ~Semaphore() {
+    FCC_CHECK_MSG(waiters_.empty(), "Semaphore destroyed with waiters");
+  }
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore& s;
+      bool await_ready() const noexcept {
+        if (s.count_ > 0 && s.waiters_.empty()) {
+          --s.count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { s.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  void release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      engine_.schedule_after(0, [h] { h.resume(); });
+    } else {
+      ++count_;
+    }
+  }
+
+  std::int64_t available() const { return count_; }
+
+ private:
+  Engine& engine_;
+  std::int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Join counter: tracks N outstanding sub-activities; `done` fires when all
+/// have arrived. The canonical pattern for "kernel completes when every WG
+/// slot finishes".
+class JoinCounter {
+ public:
+  JoinCounter(Engine& e, int expected) : done_(e), remaining_(expected) {
+    FCC_CHECK(expected >= 0);
+    if (remaining_ == 0) done_.set();
+  }
+
+  void arrive() {
+    FCC_CHECK(remaining_ > 0);
+    if (--remaining_ == 0) done_.set();
+  }
+
+  auto wait() { return done_.wait(); }
+  bool is_done() const { return done_.is_set(); }
+  int remaining() const { return remaining_; }
+
+ private:
+  OneShot done_;
+  int remaining_;
+};
+
+}  // namespace fcc::sim

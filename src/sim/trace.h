@@ -1,0 +1,78 @@
+// Execution trace recorder.
+//
+// Records spans (named intervals on a track) and instants (point events).
+// Tracks map to (pid, tid) in the Chrome trace JSON export — benches use
+// pid = GPU, tid = persistent WG slot — and the ASCII renderer reproduces
+// the paper's Fig. 11 style timeline in a terminal.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fcc::sim {
+
+struct TraceSpan {
+  std::string name;
+  std::string category;
+  int pid = 0;  // e.g. GPU / node
+  int tid = 0;  // e.g. persistent WG slot
+  TimeNs start = 0;
+  TimeNs end = 0;
+};
+
+struct TraceInstant {
+  std::string name;
+  std::string category;
+  int pid = 0;
+  int tid = 0;
+  TimeNs at = 0;
+};
+
+class Trace {
+ public:
+  /// A disabled trace drops everything; hot loops call through unconditionally.
+  explicit Trace(bool enabled = true) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  void add_span(TraceSpan s) {
+    if (enabled_) spans_.push_back(std::move(s));
+  }
+  void add_instant(TraceInstant i) {
+    if (enabled_) instants_.push_back(std::move(i));
+  }
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  const std::vector<TraceInstant>& instants() const { return instants_; }
+
+  void clear() {
+    spans_.clear();
+    instants_.clear();
+  }
+
+  /// Chrome tracing "trace event" JSON (load in chrome://tracing or Perfetto).
+  void write_chrome_json(std::ostream& os) const;
+
+  struct AsciiOptions {
+    int width = 100;           // characters across the full time range
+    int max_tracks = 64;       // cap on rendered (pid,tid) rows
+    bool show_instants = true; // overlay instant markers ('!' by default)
+  };
+
+  /// Renders a per-track character raster: each row is one (pid,tid) track,
+  /// span coverage drawn with the first letter of the span category and
+  /// instants overlaid as '*'.
+  void render_ascii(std::ostream& os, const AsciiOptions& opts) const;
+  void render_ascii(std::ostream& os) const { render_ascii(os, AsciiOptions{}); }
+
+ private:
+  bool enabled_;
+  std::vector<TraceSpan> spans_;
+  std::vector<TraceInstant> instants_;
+};
+
+}  // namespace fcc::sim

@@ -1,0 +1,131 @@
+// Tile-level kernel DSL with communication primitives (Triton-extension
+// analog, Sec. III-D).
+//
+// A TileKernel is a block-level program executed once per program instance
+// ("pid" — one output tile of a GEMM). The builder mirrors the structure of
+// a Triton matmul kernel; the communication statements (`put_c_remote`,
+// `fence`, `atomic_add_remote`) are the extensions the paper adds: a Python
+// wrapper around ROC_SHMEM's scale-up APIs, here a wrapper around
+// shmem::World.
+//
+// Example (the fused MoE combine kernel, authored in fused/gemm_a2a.cc):
+//
+//   TileKernel k("moe_combine", shape, kTritonGemmEfficiency);
+//   k.load_a().load_b().dot()
+//    .put_c_remote(dest_of_tile, write_tile)
+//    .fence()
+//    .atomic_add_remote(&flags, dest_of_tile, flag_slot);
+//
+// The interpreter charges one WorkCost per pid (panel loads + dot flops +
+// local stores), runs the functional tile math when buffers are bound, and
+// routes the comm statements through the shmem world.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "gpu/occupancy.h"
+#include "gpu/persistent.h"
+#include "gpu/schedule.h"
+#include "ops/cost_model.h"
+#include "ops/gemm.h"
+#include "shmem/flags.h"
+#include "shmem/world.h"
+#include "sim/co.h"
+
+namespace fcc::triton {
+
+class TileKernel {
+ public:
+  /// Per-program-instance context handed to addressing callbacks.
+  struct Ctx {
+    PeId pe = 0;
+    int pid = 0;
+    int slot = 0;
+    const ops::GemmShape* shape = nullptr;
+  };
+
+  using DestFn = std::function<PeId(const Ctx&)>;
+  /// Functional write of a finished tile (tile-local row-major values);
+  /// runs at delivery time for remote puts, immediately for local stores.
+  using WriteFn = std::function<void(const Ctx&, const std::vector<float>&)>;
+  using FlagIdxFn = std::function<std::size_t(const Ctx&)>;
+
+  TileKernel(std::string name, ops::GemmShape shape, double alu_efficiency);
+
+  // ---- program statements (builder) ----
+  TileKernel& load_a();
+  TileKernel& load_b();
+  TileKernel& dot();
+  TileKernel& store_c_local(WriteFn write);
+  /// Communication extension: zero-copy store of the finished tile into a
+  /// peer GPU's buffer. A tile whose destination is the local PE is written
+  /// locally (charged as a store).
+  TileKernel& put_c_remote(DestFn dest, WriteFn write);
+  TileKernel& fence();
+  /// Communication extension: remote atomic fetch-add on a symmetric flag
+  /// (arrival counters for the consumer side).
+  TileKernel& atomic_add_remote(shmem::FlagArray* flags, DestFn dest,
+                                FlagIdxFn idx, std::uint64_t amount = 1);
+
+  const std::string& name() const { return name_; }
+  const ops::GemmShape& shape() const { return shape_; }
+  bool uses_comm() const { return uses_comm_; }
+
+  /// Registers the kernel uses; comm statements cost the shmem context.
+  gpu::KernelResources resources() const;
+
+  /// Checks statement-order invariants (dot needs panels, puts need dot).
+  void validate() const;
+
+  // ---- launch ----
+  struct LaunchConfig {
+    shmem::World* world = nullptr;
+    PeId pe = 0;
+    gpu::SchedulePolicy policy = gpu::SchedulePolicy::kOblivious;
+    int occupancy_slots_override = 0;
+    TimeNs dispatch_overhead_ns = 40;
+    bool functional = false;
+    std::span<const float> a;  // bound A (m x k), functional only
+    std::span<const float> b;  // bound B (k x n), functional only
+    /// Optional per-slot epilogue (flag polling) appended by the caller.
+    std::function<sim::Co(int slot)> epilogue;
+  };
+
+  /// Launches the grid (one pid per output tile) and completes when every
+  /// program instance (plus epilogues) has finished on this PE.
+  sim::Co launch(const LaunchConfig& cfg);
+
+ private:
+  enum class StmtKind {
+    kLoadA,
+    kLoadB,
+    kDot,
+    kStoreLocal,
+    kPutRemote,
+    kFence,
+    kAtomicAdd,
+  };
+  struct Stmt {
+    StmtKind kind;
+    DestFn dest;
+    WriteFn write;
+    FlagIdxFn flag_idx;
+    shmem::FlagArray* flags = nullptr;
+    std::uint64_t amount = 0;
+  };
+
+  sim::Co run_pid(const LaunchConfig& cfg, int slot, int pid);
+
+  std::string name_;
+  ops::GemmShape shape_;
+  double alu_efficiency_;
+  std::vector<Stmt> stmts_;
+  bool uses_comm_ = false;
+};
+
+}  // namespace fcc::triton

@@ -1,0 +1,94 @@
+// Framework layer: Session dispatch, symmetric allocation, op registry.
+#include <gtest/gtest.h>
+
+#include "framework/session.h"
+
+namespace fcc::fw {
+namespace {
+
+gpu::Machine::Config four_gpus() {
+  gpu::Machine::Config c;
+  c.num_nodes = 1;
+  c.gpus_per_node = 4;
+  return c;
+}
+
+TEST(Session, SymmetricEmptyAllocatesPerPe) {
+  Session s(four_gpus());
+  auto buf = s.symmetric_empty(128);
+  EXPECT_EQ(buf->num_pes(), 4);
+  EXPECT_EQ(buf->size(), 128u);
+  buf->pe(3)[0] = 1.0f;
+  EXPECT_EQ(buf->pe(0)[0], 0.0f);
+}
+
+TEST(Session, GemvOpDispatchesBothBackends) {
+  fused::GemvAllReduceConfig cfg;
+  cfg.m = 4096;
+  cfg.k_global = 4096;
+  cfg.functional = false;
+
+  Session sf(four_gpus());
+  const auto rf = sf.gemv_all_reduce(cfg, nullptr, Backend::kFused);
+  Session sb(four_gpus());
+  const auto rb = sb.gemv_all_reduce(cfg, nullptr, Backend::kBaseline);
+  EXPECT_GT(rf.duration(), 0);
+  EXPECT_GT(rb.duration(), 0);
+  EXPECT_LT(rf.duration(), rb.duration());
+}
+
+TEST(Session, EmbeddingOpDispatches) {
+  fused::EmbeddingA2AConfig cfg;
+  cfg.map.num_pes = 4;
+  cfg.map.tables_per_pe = 4;
+  cfg.map.global_batch = 128;
+  cfg.map.dim = 64;
+  cfg.map.vectors_per_slice = 8;
+  cfg.functional = false;
+
+  Session s(four_gpus());
+  const auto r = s.embedding_all_to_all(cfg, nullptr, Backend::kFused);
+  EXPECT_GT(r.duration(), 0);
+}
+
+TEST(Registry, RegistersAndRuns) {
+  OpRegistry reg;
+  fused::GemvAllReduceConfig cfg;
+  cfg.m = 2048;
+  cfg.k_global = 2048;
+  cfg.functional = false;
+  reg.register_op({.name = "fcc::gemv_all_reduce",
+                   .replaces = "aten::mv + c10d::all_reduce",
+                   .invoke = [cfg](Session& s, Backend b) {
+                     return s.gemv_all_reduce(cfg, nullptr, b);
+                   }});
+  EXPECT_TRUE(reg.contains("fcc::gemv_all_reduce"));
+  EXPECT_FALSE(reg.contains("nope"));
+  EXPECT_EQ(reg.names().size(), 1u);
+  EXPECT_EQ(reg.at("fcc::gemv_all_reduce").replaces,
+            "aten::mv + c10d::all_reduce");
+
+  Session s(four_gpus());
+  const auto r = reg.run("fcc::gemv_all_reduce", s, Backend::kFused);
+  EXPECT_GT(r.duration(), 0);
+}
+
+TEST(Registry, RejectsDuplicatesAndUnknown) {
+  OpRegistry reg;
+  reg.register_op({.name = "x",
+                   .replaces = "",
+                   .invoke = [](Session&, Backend) {
+                     return fused::OperatorResult{};
+                   }});
+  EXPECT_THROW(reg.register_op({.name = "x",
+                                .replaces = "",
+                                .invoke = [](Session&, Backend) {
+                                  return fused::OperatorResult{};
+                                }}),
+               std::logic_error);
+  Session s(four_gpus());
+  EXPECT_THROW(reg.run("unknown", s, Backend::kFused), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fcc::fw

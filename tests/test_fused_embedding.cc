@@ -1,0 +1,308 @@
+// Fused embedding + All-to-All: numerics vs baseline vs reference, timing
+// relations, scheduling skew, slice mapping.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fused/embedding_a2a.h"
+#include "gpu/machine.h"
+#include "shmem/world.h"
+
+namespace fcc::fused {
+namespace {
+
+gpu::Machine::Config intra_node(int gpus) {
+  gpu::Machine::Config c;
+  c.num_nodes = 1;
+  c.gpus_per_node = gpus;
+  return c;
+}
+
+gpu::Machine::Config inter_node(int nodes) {
+  gpu::Machine::Config c;
+  c.num_nodes = nodes;
+  c.gpus_per_node = 1;
+  return c;
+}
+
+EmbeddingA2AConfig small_config(int pes) {
+  EmbeddingA2AConfig cfg;
+  cfg.map.num_pes = pes;
+  cfg.map.tables_per_pe = 2;
+  cfg.map.global_batch = 8 * pes;
+  cfg.map.dim = 8;
+  cfg.map.vectors_per_slice = 2;
+  cfg.pooling = 4;
+  cfg.rows_per_table = 64;
+  cfg.functional = true;
+  return cfg;
+}
+
+/// Host-side expected outputs per destination PE.
+std::vector<std::vector<float>> expected_outputs(
+    const EmbeddingA2AConfig& cfg, const EmbeddingA2AData& data) {
+  const auto& map = cfg.map;
+  std::vector<std::vector<float>> expect(
+      static_cast<std::size_t>(map.num_pes),
+      std::vector<float>(map.dest_elems(), 0.0f));
+  const auto emb = cfg.emb_config();
+  for (PeId src = 0; src < map.num_pes; ++src) {
+    const auto all = ops::pool_all_reference(
+        emb, data.tables[static_cast<std::size_t>(src)],
+        data.batches[static_cast<std::size_t>(src)]);
+    for (int b = 0; b < map.global_batch; ++b) {
+      const PeId d = map.dest_of_sample(b);
+      const int lb = b % map.local_batch();
+      for (int t = 0; t < map.tables_per_pe; ++t) {
+        const int gt = map.global_table(src, t);
+        for (int c = 0; c < map.dim; ++c) {
+          expect[static_cast<std::size_t>(d)][map.dest_offset(lb, gt, c)] =
+              all[(static_cast<std::size_t>(b) * map.tables_per_pe +
+                   static_cast<std::size_t>(t)) *
+                      map.dim +
+                  static_cast<std::size_t>(c)];
+        }
+      }
+    }
+  }
+  return expect;
+}
+
+void expect_outputs_match(const EmbeddingA2AConfig& cfg,
+                          shmem::SymArray<float>& out,
+                          const std::vector<std::vector<float>>& expect) {
+  for (PeId pe = 0; pe < cfg.map.num_pes; ++pe) {
+    auto got = out.pe(pe);
+    const auto& want = expect[static_cast<std::size_t>(pe)];
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_NEAR(got[i], want[i], 1e-4)
+          << "pe " << pe << " elem " << i;
+    }
+  }
+}
+
+TEST(SliceMap, RoundTripsWgSliceLane) {
+  SliceMap map;
+  map.num_pes = 4;
+  map.tables_per_pe = 3;
+  map.global_batch = 32;
+  map.dim = 16;
+  map.vectors_per_slice = 4;
+  map.validate();
+  EXPECT_EQ(map.local_batch(), 8);
+  EXPECT_EQ(map.num_logical_wgs(), 96);
+  EXPECT_EQ(map.num_slices(), 3 * 4 * 2);
+
+  std::vector<int> wgs_in_slice(static_cast<std::size_t>(map.num_slices()), 0);
+  for (int lw = 0; lw < map.num_logical_wgs(); ++lw) {
+    const int s = map.slice_of_wg(lw);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, map.num_slices());
+    ++wgs_in_slice[static_cast<std::size_t>(s)];
+    // Slice metadata must agree with the WG's own coordinates.
+    EXPECT_EQ(map.slice_table(s), map.wg_table(lw));
+    EXPECT_EQ(map.slice_dest(s), map.dest_of_sample(map.wg_sample(lw)));
+    EXPECT_GE(map.lane_in_slice(lw), 0);
+    EXPECT_LT(map.lane_in_slice(lw), map.wgs_per_slice());
+  }
+  for (int c : wgs_in_slice) EXPECT_EQ(c, map.wgs_per_slice());
+}
+
+TEST(SliceMap, RemoteCountsAreConsistent) {
+  SliceMap map;
+  map.num_pes = 2;
+  map.tables_per_pe = 4;
+  map.global_batch = 16;
+  map.vectors_per_slice = 2;
+  map.dim = 4;
+  map.validate();
+  for (PeId pe = 0; pe < 2; ++pe) {
+    EXPECT_EQ(map.num_local_slices(pe) + map.num_remote_slices(pe),
+              map.num_slices());
+    int remote_wgs = 0;
+    for (int lw = 0; lw < map.num_logical_wgs(); ++lw) {
+      remote_wgs += map.wg_is_remote(pe, lw);
+    }
+    EXPECT_EQ(remote_wgs, map.num_remote_slices(pe) * map.wgs_per_slice());
+  }
+}
+
+TEST(FusedEmbedding, IntraNodeMatchesReference) {
+  const auto cfg = small_config(4);
+  gpu::Machine m(intra_node(4));
+  shmem::World world(m);
+  shmem::SymArray<float> out(4, cfg.map.dest_elems());
+  auto data = EmbeddingA2AData::random(cfg, &out, /*seed=*/11);
+  const auto expect = expected_outputs(cfg, data);
+
+  FusedEmbeddingAllToAll op(world, cfg, &data);
+  const auto res = op.run_to_completion();
+  EXPECT_GT(res.duration(), 0);
+  expect_outputs_match(cfg, out, expect);
+}
+
+TEST(FusedEmbedding, InterNodeMatchesReference) {
+  const auto cfg = small_config(2);
+  gpu::Machine m(inter_node(2));
+  shmem::World world(m);
+  shmem::SymArray<float> out(2, cfg.map.dest_elems());
+  auto data = EmbeddingA2AData::random(cfg, &out, /*seed=*/13);
+  const auto expect = expected_outputs(cfg, data);
+
+  FusedEmbeddingAllToAll op(world, cfg, &data);
+  op.run_to_completion();
+  expect_outputs_match(cfg, out, expect);
+}
+
+TEST(BaselineEmbedding, MatchesReferenceIntraAndInter) {
+  for (int nodes : {1, 2}) {
+    const int pes = nodes == 1 ? 4 : 2;
+    const auto cfg = small_config(pes);
+    gpu::Machine m(nodes == 1 ? intra_node(4) : inter_node(2));
+    shmem::World world(m);
+    shmem::SymArray<float> out(pes, cfg.map.dest_elems());
+    auto data = EmbeddingA2AData::random(cfg, &out, /*seed=*/17);
+    const auto expect = expected_outputs(cfg, data);
+
+    BaselineEmbeddingAllToAll op(world, cfg, &data);
+    const auto res = op.run_to_completion();
+    EXPECT_GT(res.duration(), 0);
+    expect_outputs_match(cfg, out, expect);
+  }
+}
+
+TEST(FusedEmbedding, FusedEqualsBaselineElementwise) {
+  const auto cfg = small_config(2);
+  gpu::Machine mf(inter_node(2));
+  shmem::World wf(mf);
+  shmem::SymArray<float> out_f(2, cfg.map.dest_elems());
+  auto data_f = EmbeddingA2AData::random(cfg, &out_f, /*seed=*/23);
+  FusedEmbeddingAllToAll(wf, cfg, &data_f).run_to_completion();
+
+  gpu::Machine mb(inter_node(2));
+  shmem::World wb(mb);
+  shmem::SymArray<float> out_b(2, cfg.map.dest_elems());
+  auto data_b = EmbeddingA2AData::random(cfg, &out_b, /*seed=*/23);
+  BaselineEmbeddingAllToAll(wb, cfg, &data_b).run_to_completion();
+
+  for (PeId pe = 0; pe < 2; ++pe) {
+    auto a = out_f.pe(pe);
+    auto b = out_b.pe(pe);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_NEAR(a[i], b[i], 1e-4);
+    }
+  }
+}
+
+EmbeddingA2AConfig timing_config(int pes, int batch, int tables) {
+  EmbeddingA2AConfig cfg;
+  cfg.map.num_pes = pes;
+  cfg.map.tables_per_pe = tables;
+  cfg.map.global_batch = batch;
+  cfg.map.dim = 256;
+  cfg.map.vectors_per_slice = 32;
+  cfg.pooling = 64;
+  cfg.functional = false;
+  return cfg;
+}
+
+TEST(FusedEmbedding, FusedIsFasterThanBaselineIntraNode) {
+  const auto cfg = timing_config(4, 512, 16);
+  gpu::Machine mf(intra_node(4));
+  shmem::World wf(mf);
+  FusedEmbeddingAllToAll fused(wf, cfg, nullptr);
+  const auto rf = fused.run_to_completion();
+
+  gpu::Machine mb(intra_node(4));
+  shmem::World wb(mb);
+  BaselineEmbeddingAllToAll base(wb, cfg, nullptr);
+  const auto rb = base.run_to_completion();
+
+  EXPECT_LT(rf.duration(), rb.duration());
+}
+
+TEST(FusedEmbedding, FusedIsFasterThanBaselineInterNode) {
+  const auto cfg = timing_config(2, 512, 16);
+  gpu::Machine mf(inter_node(2));
+  shmem::World wf(mf);
+  const auto rf =
+      FusedEmbeddingAllToAll(wf, cfg, nullptr).run_to_completion();
+
+  gpu::Machine mb(inter_node(2));
+  shmem::World wb(mb);
+  const auto rb =
+      BaselineEmbeddingAllToAll(wb, cfg, nullptr).run_to_completion();
+
+  EXPECT_LT(rf.duration(), rb.duration());
+}
+
+TEST(FusedEmbedding, CommAwareSchedulingReducesSkew) {
+  auto cfg = timing_config(2, 1024, 16);
+  cfg.policy = gpu::SchedulePolicy::kCommAware;
+  gpu::Machine ma(inter_node(2));
+  shmem::World wa(ma);
+  const auto aware =
+      FusedEmbeddingAllToAll(wa, cfg, nullptr).run_to_completion();
+
+  cfg.policy = gpu::SchedulePolicy::kOblivious;
+  gpu::Machine mo(inter_node(2));
+  shmem::World wo(mo);
+  const auto obliv =
+      FusedEmbeddingAllToAll(wo, cfg, nullptr).run_to_completion();
+
+  EXPECT_LE(aware.skew(), obliv.skew());
+  EXPECT_LE(aware.duration(), obliv.duration());
+}
+
+TEST(FusedEmbedding, OccupancyIsBelowBaseline) {
+  // ROC_SHMEM register cost: fused runs at 87.5% of the baseline slots.
+  gpu::Machine m(intra_node(4));
+  const int base = gpu::max_active_wgs(
+      m.device(0).spec(), BaselineEmbeddingAllToAll::baseline_resources());
+  const int fused = gpu::max_active_wgs(
+      m.device(0).spec(), FusedEmbeddingAllToAll::fused_resources());
+  EXPECT_EQ(base, 832);
+  EXPECT_EQ(fused, 728);
+  EXPECT_DOUBLE_EQ(static_cast<double>(fused) / base, 0.875);
+}
+
+TEST(FusedEmbedding, OccupancyOverrideControlsSlots) {
+  auto cfg = timing_config(2, 64, 2);
+  cfg.occupancy_slots_override = 13;
+  gpu::Machine m(inter_node(2));
+  shmem::World w(m);
+  FusedEmbeddingAllToAll op(w, cfg, nullptr);
+  EXPECT_EQ(op.slots_per_pe(), 13);
+  op.run_to_completion();
+}
+
+TEST(FusedEmbedding, EmitsTraceWhenEnabled) {
+  auto cfg = timing_config(2, 64, 2);
+  cfg.emit_trace = true;
+  cfg.occupancy_slots_override = 8;
+  gpu::Machine::Config mc = inter_node(2);
+  mc.collect_trace = true;
+  gpu::Machine m(mc);
+  shmem::World w(m);
+  FusedEmbeddingAllToAll(w, cfg, nullptr).run_to_completion();
+  EXPECT_FALSE(m.trace().spans().empty());
+  bool saw_put = false;
+  for (const auto& i : m.trace().instants()) saw_put |= (i.name == "put");
+  EXPECT_TRUE(saw_put);
+}
+
+TEST(FusedEmbedding, DeterministicAcrossRuns) {
+  const auto cfg = timing_config(2, 256, 8);
+  auto run_once = [&] {
+    gpu::Machine m(inter_node(2));
+    shmem::World w(m);
+    return FusedEmbeddingAllToAll(w, cfg, nullptr)
+        .run_to_completion()
+        .duration();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace fcc::fused

@@ -1,0 +1,214 @@
+// Fused GEMV + AllReduce: numerics vs baseline vs reference, timing shape.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fused/gemv_allreduce.h"
+#include "gpu/machine.h"
+#include "ops/gemv.h"
+#include "shmem/world.h"
+
+namespace fcc::fused {
+namespace {
+
+gpu::Machine::Config scale_up(int gpus = 4) {
+  gpu::Machine::Config c;
+  c.num_nodes = 1;
+  c.gpus_per_node = gpus;
+  return c;
+}
+
+GemvAllReduceConfig small_cfg(int pes) {
+  GemvAllReduceConfig cfg;
+  cfg.m = 64;
+  cfg.k_global = 32 * pes;
+  cfg.tile_rows = 8;  // 8 tiles, divisible by pes for pes in {2,4}
+  cfg.functional = true;
+  return cfg;
+}
+
+/// Reference: sum over PEs of W_pe x_pe.
+std::vector<float> reference_y(const GemvAllReduceConfig& cfg, int pes,
+                               const GemvAllReduceData& data) {
+  std::vector<float> y(static_cast<std::size_t>(cfg.m), 0.0f);
+  const auto shape = cfg.shape(pes);
+  for (int pe = 0; pe < pes; ++pe) {
+    const auto part = ops::gemv_reference(
+        shape, data.w[static_cast<std::size_t>(pe)],
+        data.x[static_cast<std::size_t>(pe)]);
+    for (int r = 0; r < cfg.m; ++r) {
+      y[static_cast<std::size_t>(r)] += part[static_cast<std::size_t>(r)];
+    }
+  }
+  return y;
+}
+
+TEST(FusedGemv, TileOwnershipIsContiguousAndBalanced) {
+  gpu::Machine m(scale_up(4));
+  shmem::World w(m);
+  auto cfg = small_cfg(4);
+  cfg.functional = false;
+  FusedGemvAllReduce op(w, cfg, nullptr);
+  const int tiles = cfg.shape(4).num_tiles();
+  std::vector<int> count(4, 0);
+  PeId prev = 0;
+  for (int t = 0; t < tiles; ++t) {
+    const PeId o = op.owner_of_tile(t);
+    EXPECT_GE(o, prev);  // contiguous ranges
+    prev = o;
+    ++count[static_cast<std::size_t>(o)];
+  }
+  for (int c : count) EXPECT_EQ(c, tiles / 4);
+}
+
+TEST(FusedGemv, MatchesReferenceFourGpus) {
+  const int pes = 4;
+  auto cfg = small_cfg(pes);
+  gpu::Machine m(scale_up(pes));
+  shmem::World w(m);
+  shmem::SymArray<float> y(pes, static_cast<std::size_t>(cfg.m));
+  auto data = GemvAllReduceData::random(cfg, pes, &y, /*seed=*/31);
+  const auto ref = reference_y(cfg, pes, data);
+
+  FusedGemvAllReduce op(w, cfg, &data);
+  const auto res = op.run_to_completion();
+  EXPECT_GT(res.duration(), 0);
+  for (PeId pe = 0; pe < pes; ++pe) {
+    auto got = y.pe(pe);
+    for (int r = 0; r < cfg.m; ++r) {
+      ASSERT_NEAR(got[static_cast<std::size_t>(r)],
+                  ref[static_cast<std::size_t>(r)], 1e-3)
+          << "pe " << pe << " row " << r;
+    }
+  }
+}
+
+TEST(FusedGemv, MatchesReferenceTwoGpus) {
+  const int pes = 2;
+  auto cfg = small_cfg(pes);
+  gpu::Machine m(scale_up(pes));
+  shmem::World w(m);
+  shmem::SymArray<float> y(pes, static_cast<std::size_t>(cfg.m));
+  auto data = GemvAllReduceData::random(cfg, pes, &y, /*seed=*/37);
+  const auto ref = reference_y(cfg, pes, data);
+
+  FusedGemvAllReduce(w, cfg, &data).run_to_completion();
+  for (PeId pe = 0; pe < pes; ++pe) {
+    auto got = y.pe(pe);
+    for (int r = 0; r < cfg.m; ++r) {
+      ASSERT_NEAR(got[static_cast<std::size_t>(r)],
+                  ref[static_cast<std::size_t>(r)], 1e-3);
+    }
+  }
+}
+
+TEST(BaselineGemv, MatchesReference) {
+  const int pes = 4;
+  auto cfg = small_cfg(pes);
+  gpu::Machine m(scale_up(pes));
+  shmem::World w(m);
+  shmem::SymArray<float> y(pes, static_cast<std::size_t>(cfg.m));
+  auto data = GemvAllReduceData::random(cfg, pes, &y, /*seed=*/41);
+  const auto ref = reference_y(cfg, pes, data);
+
+  BaselineGemvAllReduce op(w, cfg, &data);
+  const auto res = op.run_to_completion();
+  EXPECT_GT(res.duration(), 0);
+  for (PeId pe = 0; pe < pes; ++pe) {
+    auto got = y.pe(pe);
+    for (int r = 0; r < cfg.m; ++r) {
+      ASSERT_NEAR(got[static_cast<std::size_t>(r)],
+                  ref[static_cast<std::size_t>(r)], 1e-3);
+    }
+  }
+}
+
+TEST(FusedGemv, FusedEqualsBaseline) {
+  const int pes = 4;
+  auto cfg = small_cfg(pes);
+
+  gpu::Machine mf(scale_up(pes));
+  shmem::World wf(mf);
+  shmem::SymArray<float> yf(pes, static_cast<std::size_t>(cfg.m));
+  auto df = GemvAllReduceData::random(cfg, pes, &yf, /*seed=*/43);
+  FusedGemvAllReduce(wf, cfg, &df).run_to_completion();
+
+  gpu::Machine mb(scale_up(pes));
+  shmem::World wb(mb);
+  shmem::SymArray<float> yb(pes, static_cast<std::size_t>(cfg.m));
+  auto db = GemvAllReduceData::random(cfg, pes, &yb, /*seed=*/43);
+  BaselineGemvAllReduce(wb, cfg, &db).run_to_completion();
+
+  for (PeId pe = 0; pe < pes; ++pe) {
+    auto a = yf.pe(pe);
+    auto b = yb.pe(pe);
+    for (int r = 0; r < cfg.m; ++r) {
+      ASSERT_NEAR(a[static_cast<std::size_t>(r)], b[static_cast<std::size_t>(r)],
+                  1e-3);
+    }
+  }
+}
+
+GemvAllReduceConfig timing_cfg(int m, int k) {
+  GemvAllReduceConfig cfg;
+  cfg.m = m;
+  cfg.k_global = k;
+  cfg.functional = false;
+  return cfg;
+}
+
+TEST(FusedGemv, FusedIsFasterThanBaseline) {
+  const auto cfg = timing_cfg(8192, 8192);
+  gpu::Machine mf(scale_up(4));
+  shmem::World wf(mf);
+  const auto rf = FusedGemvAllReduce(wf, cfg, nullptr).run_to_completion();
+
+  gpu::Machine mb(scale_up(4));
+  shmem::World wb(mb);
+  const auto rb = BaselineGemvAllReduce(wb, cfg, nullptr).run_to_completion();
+
+  EXPECT_LT(rf.duration(), rb.duration());
+}
+
+TEST(FusedGemv, RelativeBenefitShrinksAtLargeM) {
+  // The Fig. 9 shape: larger outputs raise fabric contention and the fixed
+  // overheads amortize, so fused/baseline ratio approaches 1.
+  auto ratio = [](int m) {
+    const auto cfg = timing_cfg(m, 8192);
+    gpu::Machine mf(scale_up(4));
+    shmem::World wf(mf);
+    const auto rf = FusedGemvAllReduce(wf, cfg, nullptr).run_to_completion();
+    gpu::Machine mb(scale_up(4));
+    shmem::World wb(mb);
+    const auto rb =
+        BaselineGemvAllReduce(wb, cfg, nullptr).run_to_completion();
+    return static_cast<double>(rf.duration()) /
+           static_cast<double>(rb.duration());
+  };
+  const double small = ratio(8192);
+  const double large = ratio(65536);
+  EXPECT_LT(small, large);  // more benefit (lower ratio) at small M
+  EXPECT_LT(large, 1.0);    // still a win at 64k
+}
+
+TEST(FusedGemv, DeterministicAcrossRuns) {
+  const auto cfg = timing_cfg(4096, 4096);
+  auto once = [&] {
+    gpu::Machine m(scale_up(4));
+    shmem::World w(m);
+    return FusedGemvAllReduce(w, cfg, nullptr).run_to_completion().duration();
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(FusedGemv, RejectsIndivisibleTileCounts) {
+  gpu::Machine m(scale_up(4));
+  shmem::World w(m);
+  GemvAllReduceConfig cfg;
+  cfg.m = 48;        // 3 tiles of 16 across 4 GPUs
+  cfg.k_global = 64;
+  EXPECT_THROW(FusedGemvAllReduce(w, cfg, nullptr), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fcc::fused

@@ -1,0 +1,66 @@
+// Fabric model: endpoint-port contention, the Fig. 9 mechanism.
+#include <gtest/gtest.h>
+
+#include "hw/fabric.h"
+
+namespace fcc::hw {
+namespace {
+
+FabricSpec spec_80() {
+  FabricSpec s;
+  s.port_bytes_per_ns = 80.0;
+  s.latency_ns = 700;
+  return s;
+}
+
+TEST(Fabric, SingleTransferTiming) {
+  Fabric f(4, spec_80());
+  // 8000 bytes at 80 B/ns = 100 ns + 700 latency.
+  EXPECT_EQ(f.transfer(0, 1, 8000, 0), 800);
+}
+
+TEST(Fabric, DisjointPairsDoNotContend) {
+  Fabric f(4, spec_80());
+  const TimeNs a = f.transfer(0, 1, 8000, 0);
+  const TimeNs b = f.transfer(2, 3, 8000, 0);
+  EXPECT_EQ(a, b);  // independent ports
+}
+
+TEST(Fabric, SharedEgressSerializes) {
+  Fabric f(4, spec_80());
+  const TimeNs a = f.transfer(0, 1, 8000, 0);
+  const TimeNs b = f.transfer(0, 2, 8000, 0);  // same source port
+  EXPECT_EQ(b - a, 100);
+}
+
+TEST(Fabric, SharedIngressSerializes) {
+  Fabric f(4, spec_80());
+  const TimeNs a = f.transfer(1, 0, 8000, 0);
+  const TimeNs b = f.transfer(2, 0, 8000, 0);  // same destination port
+  EXPECT_EQ(b - a, 100);
+}
+
+TEST(Fabric, AllToOneIncastSerializesFully) {
+  Fabric f(4, spec_80());
+  TimeNs last = 0;
+  for (int src = 1; src < 4; ++src) {
+    last = f.transfer(src, 0, 80000, 0);
+  }
+  // 3 x 1000 ns serialized on GPU0's ingress + latency.
+  EXPECT_EQ(last, 3000 + 700);
+}
+
+TEST(Fabric, SelfTransferIsRejected) {
+  Fabric f(2, spec_80());
+  EXPECT_THROW(f.transfer(1, 1, 10, 0), std::logic_error);
+}
+
+TEST(Fabric, TracksTotalBytes) {
+  Fabric f(2, spec_80());
+  f.transfer(0, 1, 100, 0);
+  f.transfer(1, 0, 200, 0);
+  EXPECT_EQ(f.total_bytes(), 300);
+}
+
+}  // namespace
+}  // namespace fcc::hw

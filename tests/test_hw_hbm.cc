@@ -1,0 +1,80 @@
+// HBM contention curve: ramp, knee saturation, over-knee degradation.
+#include <gtest/gtest.h>
+
+#include "hw/hbm_model.h"
+
+namespace fcc::hw {
+namespace {
+
+constexpr double kPeak = 1638.0;
+constexpr int kSlots = 832;
+
+TEST(Hbm, ZeroActiveGivesZeroBandwidth) {
+  HbmModel m(kPeak, kSlots);
+  EXPECT_EQ(m.total_bandwidth(0), 0.0);
+}
+
+TEST(Hbm, RampIsMonotoneUpToKnee) {
+  HbmModel m(kPeak, kSlots);
+  HbmCurve c;
+  double prev = 0;
+  for (int a = 1; a <= static_cast<int>(kSlots * c.knee_frac); a += 16) {
+    const double bw = m.total_bandwidth(a, c);
+    EXPECT_GE(bw, prev);
+    prev = bw;
+  }
+}
+
+TEST(Hbm, PeakReachedAtKnee) {
+  HbmModel m(kPeak, kSlots);
+  HbmCurve c;
+  const int knee = static_cast<int>(kSlots * c.knee_frac);
+  EXPECT_NEAR(m.total_bandwidth(knee, c), kPeak, kPeak * 0.01);
+}
+
+TEST(Hbm, DegradesBeyondKneeWhenConfigured) {
+  HbmModel m(kPeak, kSlots);
+  HbmCurve c;
+  c.over_knee_degrade = 0.4;
+  const int knee = static_cast<int>(kSlots * c.knee_frac);
+  EXPECT_LT(m.total_bandwidth(kSlots, c), m.total_bandwidth(knee, c));
+  EXPECT_NEAR(m.total_bandwidth(kSlots, c), kPeak * 0.6, kPeak * 0.01);
+}
+
+TEST(Hbm, FlatBeyondKneeWhenDegradeZero) {
+  HbmModel m(kPeak, kSlots);
+  HbmCurve c;
+  c.over_knee_degrade = 0.0;
+  const int knee = static_cast<int>(kSlots * c.knee_frac);
+  EXPECT_NEAR(m.total_bandwidth(kSlots, c), m.total_bandwidth(knee, c), 1e-9);
+}
+
+TEST(Hbm, BaseFractionAtMinimalOccupancy) {
+  HbmModel m(kPeak, kSlots);
+  HbmCurve c;
+  // One WG extracts roughly base_frac of peak (plus the tiny ramp term).
+  EXPECT_NEAR(m.total_bandwidth(1, c), kPeak * c.base_frac, kPeak * 0.01);
+}
+
+TEST(Hbm, PerWgBandwidthSplitsTotal) {
+  HbmModel m(kPeak, kSlots);
+  HbmCurve c;
+  const int a = 400;
+  EXPECT_NEAR(m.per_wg_bandwidth(a, c) * a, m.total_bandwidth(a, c), 1e-6);
+}
+
+TEST(Hbm, Fig13ShapeExecTimeValleyAt75Percent) {
+  // Execution time of a fully memory-bound kernel is work / total_bw.
+  HbmModel m(kPeak, kSlots);
+  HbmCurve c;
+  c.over_knee_degrade = 0.4;
+  auto t = [&](double occ) {
+    return 1.0 / m.total_bandwidth(static_cast<int>(kSlots * occ), c);
+  };
+  EXPECT_GT(t(0.25), t(0.50));
+  EXPECT_GT(t(0.50), t(0.75));
+  EXPECT_LT(t(0.75), t(0.875));  // contention beyond the knee
+}
+
+}  // namespace
+}  // namespace fcc::hw

@@ -1,0 +1,72 @@
+// Link and NIC models: serialization, latency, FIFO contention.
+#include <gtest/gtest.h>
+
+#include "hw/link.h"
+#include "hw/nic.h"
+
+namespace fcc::hw {
+namespace {
+
+TEST(Link, UncontendedTransferIsBytesOverBandwidthPlusLatency) {
+  Link l("l", /*bytes_per_ns=*/10.0, /*latency_ns=*/100);
+  // 1000 bytes at 10 B/ns -> 100 ns occupancy + 100 ns latency.
+  EXPECT_EQ(l.submit(/*ready=*/0, /*bytes=*/1000), 200);
+}
+
+TEST(Link, BackToBackTransfersSerialize) {
+  Link l("l", 10.0, 0);
+  EXPECT_EQ(l.submit(0, 1000), 100);
+  // Submitted at the same time: queues behind the first.
+  EXPECT_EQ(l.submit(0, 1000), 200);
+  // Submitted later than the horizon: starts immediately.
+  EXPECT_EQ(l.submit(500, 1000), 600);
+}
+
+TEST(Link, ZeroByteTransferCostsOnlyLatency) {
+  Link l("l", 10.0, 42);
+  EXPECT_EQ(l.submit(7, 0), 49);
+}
+
+TEST(Link, TracksUtilizationStats) {
+  Link l("l", 10.0, 0);
+  l.submit(0, 1000);
+  l.submit(0, 500);
+  EXPECT_EQ(l.total_bytes(), 1500);
+  EXPECT_EQ(l.busy_ns(), 150);
+  EXPECT_EQ(l.transfers(), 2);
+}
+
+TEST(Link, GapsDoNotAccumulateBusyTime) {
+  Link l("l", 1.0, 0);
+  l.submit(0, 10);
+  l.submit(100, 10);
+  EXPECT_EQ(l.busy_ns(), 20);
+}
+
+TEST(Nic, MessageProcessingSerializesBeforeWire) {
+  IbSpec spec;
+  spec.wire_bytes_per_ns = 20.0;
+  spec.wire_latency_ns = 1000;
+  spec.per_msg_proc_ns = 250;
+  Nic nic("n", spec);
+  // proc: [0,250), wire: 2000B/20 = 100ns -> done 350, +1000 latency.
+  EXPECT_EQ(nic.post(0, 2000), 1350);
+  // Second message: proc [250,500), wire starts max(500, 350)=500.
+  EXPECT_EQ(nic.post(0, 2000), 1600);
+  EXPECT_EQ(nic.messages(), 2);
+}
+
+TEST(Nic, LargeMessagesBoundByWireNotProc) {
+  IbSpec spec;
+  spec.wire_bytes_per_ns = 20.0;
+  spec.wire_latency_ns = 0;
+  spec.per_msg_proc_ns = 10;
+  Nic nic("n", spec);
+  // Two 1 MB messages: wire serialization dominates.
+  const TimeNs d1 = nic.post(0, 1 << 20);
+  const TimeNs d2 = nic.post(0, 1 << 20);
+  EXPECT_NEAR(static_cast<double>(d2 - d1), (1 << 20) / 20.0, 2.0);
+}
+
+}  // namespace
+}  // namespace fcc::hw

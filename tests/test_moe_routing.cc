@@ -1,0 +1,191 @@
+// MoE routing: gating, top-k selection, dispatch plans, and the variable
+// All-to-All that ships them (paper Fig. 4 dispatch path).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ccl/communicator.h"
+#include "gpu/machine.h"
+#include "ops/gemv.h"
+#include "ops/moe_routing.h"
+#include "sim/task.h"
+
+namespace fcc::ops {
+namespace {
+
+RoutingConfig small_cfg() {
+  RoutingConfig cfg;
+  cfg.num_experts = 4;
+  cfg.d_model = 16;
+  cfg.top_k = 2;
+  return cfg;
+}
+
+TEST(Router, RouteSelectsTopKDistinctExperts) {
+  Rng rng(21);
+  Router router(small_cfg(), rng);
+  auto token = random_vector(16, rng);
+  const auto r = router.route(token);
+  ASSERT_EQ(r.experts.size(), 2u);
+  EXPECT_NE(r.experts[0], r.experts[1]);
+  for (int e : r.experts) {
+    EXPECT_GE(e, 0);
+    EXPECT_LT(e, 4);
+  }
+}
+
+TEST(Router, CombineWeightsAreNormalizedAndOrdered) {
+  Rng rng(22);
+  Router router(small_cfg(), rng);
+  auto token = random_vector(16, rng);
+  const auto r = router.route(token);
+  EXPECT_NEAR(r.weights[0] + r.weights[1], 1.0f, 1e-5);
+  EXPECT_GE(r.weights[0], r.weights[1]);  // descending gate score
+  EXPECT_GT(r.weights[1], 0.0f);
+}
+
+TEST(Router, RoutingIsDeterministic) {
+  Rng rng_a(23), rng_b(23);
+  Router a(small_cfg(), rng_a), b(small_cfg(), rng_b);
+  Rng data(9);
+  auto token = random_vector(16, data);
+  const auto ra = a.route(token);
+  const auto rb = b.route(token);
+  EXPECT_EQ(ra.experts, rb.experts);
+}
+
+TEST(Router, PlanCoversEveryTokenExactlyTopKTimes) {
+  Rng rng(24);
+  Router router(small_cfg(), rng);
+  const int tokens = 64;
+  auto acts = random_vector(static_cast<size_t>(tokens) * 16, rng);
+  const auto plan = router.plan(acts, tokens);
+
+  const auto total = std::accumulate(plan.counts.begin(), plan.counts.end(),
+                                     std::int64_t{0});
+  EXPECT_EQ(total, tokens * 2);
+  EXPECT_EQ(plan.order.size(), static_cast<size_t>(tokens * 2));
+
+  std::vector<int> appearances(static_cast<size_t>(tokens), 0);
+  for (int t : plan.order) ++appearances[static_cast<size_t>(t)];
+  for (int c : appearances) EXPECT_EQ(c, 2);
+
+  // Offsets delimit expert segments consistent with counts.
+  for (int e = 0; e < 4; ++e) {
+    const std::int64_t begin = plan.offsets[static_cast<size_t>(e)];
+    const std::int64_t end =
+        begin + plan.counts[static_cast<size_t>(e)];
+    EXPECT_LE(end, static_cast<std::int64_t>(plan.order.size()));
+  }
+}
+
+TEST(Router, A2avCountsFlattenPerSourcePlans) {
+  Rng rng(25);
+  Router router(small_cfg(), rng);
+  std::vector<DispatchPlan> plans;
+  for (int src = 0; src < 3; ++src) {
+    auto acts = random_vector(static_cast<size_t>(8) * 16, rng);
+    plans.push_back(router.plan(acts, 8));
+  }
+  const auto counts = Router::a2av_counts(plans, 4, /*elems_per_token=*/16);
+  ASSERT_EQ(counts.size(), 12u);
+  std::int64_t total = 0;
+  for (auto c : counts) total += c;
+  EXPECT_EQ(total, 3 * 8 * 2 * 16);  // sources x tokens x top_k x payload
+}
+
+// Dispatch integration: route on every GPU, ship activations with
+// all_to_all_v, verify each expert receives exactly the tokens routed to it.
+sim::Task drive_a2av(sim::Engine&, ccl::Communicator& comm,
+                     const std::vector<std::int64_t>& counts,
+                     ccl::FloatBufs send, ccl::FloatBufs recv, bool& done) {
+  co_await comm.all_to_all_v(counts, std::move(send), std::move(recv));
+  done = true;
+}
+
+TEST(Dispatch, AllToAllVDeliversRoutedTokens) {
+  const auto cfg = small_cfg();
+  const int pes = 4, tokens = 8;
+  Rng rng(26);
+  Router router(cfg, rng);
+
+  std::vector<std::vector<float>> acts;       // [pe][tokens * d_model]
+  std::vector<DispatchPlan> plans;
+  for (int pe = 0; pe < pes; ++pe) {
+    acts.push_back(random_vector(static_cast<size_t>(tokens) * cfg.d_model,
+                                 rng));
+    plans.push_back(router.plan(acts.back(), tokens));
+  }
+  const auto counts = Router::a2av_counts(plans, pes, cfg.d_model);
+
+  // Pack send buffers destination-major using each plan's order.
+  std::vector<std::vector<float>> send(static_cast<size_t>(pes)),
+      recv(static_cast<size_t>(pes));
+  for (int src = 0; src < pes; ++src) {
+    for (int t : plans[static_cast<size_t>(src)].order) {
+      const auto* tok = &acts[static_cast<size_t>(src)]
+                             [static_cast<size_t>(t) * cfg.d_model];
+      send[static_cast<size_t>(src)].insert(
+          send[static_cast<size_t>(src)].end(), tok, tok + cfg.d_model);
+    }
+    std::int64_t recv_elems = 0;
+    for (int s = 0; s < pes; ++s) {
+      recv_elems += counts[static_cast<size_t>(s * pes + src)];
+    }
+    recv[static_cast<size_t>(src)].assign(
+        static_cast<size_t>(recv_elems), -1.0f);
+  }
+
+  gpu::Machine::Config mc;
+  mc.num_nodes = 1;
+  mc.gpus_per_node = pes;
+  gpu::Machine machine(mc);
+  std::vector<PeId> members{0, 1, 2, 3};
+  ccl::Communicator comm(machine, members);
+  ccl::FloatBufs sb, rb;
+  for (auto& s : send) sb.per_rank.emplace_back(s);
+  for (auto& r : recv) rb.per_rank.emplace_back(r);
+  bool done = false;
+  drive_a2av(machine.engine(), comm, counts, std::move(sb), std::move(rb),
+             done);
+  machine.engine().run();
+  ASSERT_TRUE(done);
+
+  // Expert e's buffer = concatenation over sources of their expert-e
+  // token segments; spot-verify the first routed token from source 2.
+  const int expert = 1;
+  std::int64_t off = 0;
+  for (int s = 0; s < 2; ++s) {
+    off += counts[static_cast<size_t>(s * pes + expert)];
+  }
+  const auto& plan2 = plans[2];
+  if (plan2.counts[expert] > 0) {
+    const int tok = plan2.order[static_cast<size_t>(plan2.offsets[expert])];
+    for (int c = 0; c < cfg.d_model; ++c) {
+      ASSERT_FLOAT_EQ(
+          recv[expert][static_cast<size_t>(off + c)],
+          acts[2][static_cast<size_t>(tok) * cfg.d_model +
+                  static_cast<size_t>(c)]);
+    }
+  }
+}
+
+TEST(Dispatch, EqualLoadAssumptionApproximatelyHoldsAtScale) {
+  // The paper assumes uniform expert load for the fused combine; with a
+  // random gate and many tokens, top-2 routing is near-balanced.
+  auto cfg = small_cfg();
+  cfg.d_model = 8;
+  Rng rng(27);
+  Router router(cfg, rng);
+  const int tokens = 2048;
+  auto acts = random_vector(static_cast<size_t>(tokens) * cfg.d_model, rng);
+  const auto plan = router.plan(acts, tokens);
+  const double mean = tokens * 2.0 / cfg.num_experts;
+  for (auto c : plan.counts) {
+    EXPECT_GT(static_cast<double>(c), 0.3 * mean);
+    EXPECT_LT(static_cast<double>(c), 2.4 * mean);
+  }
+}
+
+}  // namespace
+}  // namespace fcc::ops

@@ -1,0 +1,80 @@
+// ThreadPool / parallel_for correctness under contention.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+
+namespace fcc::par {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (wave + 1) * 100);
+  }
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(5000);
+  parallel_for(pool, 0, 5000,
+               [&](std::int64_t i) {
+                 hits[static_cast<size_t>(i)].fetch_add(1);
+               },
+               /*grain=*/64);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int touched = 0;
+  parallel_for(pool, 10, 10, [&](std::int64_t) { ++touched; });
+  EXPECT_EQ(touched, 0);
+}
+
+TEST(ParallelFor, MatchesSerialSum) {
+  ThreadPool pool(4);
+  std::vector<std::int64_t> data(10000);
+  std::iota(data.begin(), data.end(), 1);
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(pool, 0, static_cast<std::int64_t>(data.size()),
+               [&](std::int64_t i) {
+                 sum.fetch_add(data[static_cast<size_t>(i)]);
+               },
+               /*grain=*/128);
+  EXPECT_EQ(sum.load(), 10000LL * 10001 / 2);
+}
+
+TEST(SerialFor, RunsInOrder) {
+  std::vector<std::int64_t> order;
+  serial_for(0, 5, [&](std::int64_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace fcc::par

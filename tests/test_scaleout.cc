@@ -1,0 +1,95 @@
+// Scale-out trainer sim: torus collectives, iteration composition, Fig. 15
+// trend.
+#include <gtest/gtest.h>
+
+#include "scaleout/dlrm_training.h"
+#include "scaleout/torus.h"
+
+namespace fcc::scaleout {
+namespace {
+
+TEST(Torus, FactorsNodesNearSquare) {
+  TorusSpec base;
+  const auto t128 = torus_for_nodes(128, base);
+  EXPECT_EQ(t128.dim_x * t128.dim_y, 128);
+  EXPECT_EQ(t128.dim_y, 8);
+  EXPECT_EQ(t128.dim_x, 16);
+  const auto t64 = torus_for_nodes(64, base);
+  EXPECT_EQ(t64.dim_x, 8);
+  EXPECT_EQ(t64.dim_y, 8);
+}
+
+TEST(Torus, AllToAllScalesWithBytes) {
+  TorusModel t(torus_for_nodes(64, {}));
+  const TimeNs a = t.all_to_all_time(1 << 10);
+  const TimeNs b = t.all_to_all_time(1 << 20);
+  EXPECT_GT(b, 100 * a / 2);
+  EXPECT_EQ(t.all_to_all_time(0), 0);
+}
+
+TEST(Torus, AllReduceLatencyGrowsWithRingSizes) {
+  TorusModel small(torus_for_nodes(16, {}));
+  TorusModel big(torus_for_nodes(256, {}));
+  EXPECT_LT(small.all_reduce_time(1 << 20), big.all_reduce_time(1 << 20));
+}
+
+TEST(Torus, SingleNodeIsFree) {
+  TorusModel t(torus_for_nodes(1, {}));
+  EXPECT_EQ(t.all_to_all_time(1 << 20), 0);
+  EXPECT_EQ(t.all_reduce_time(1 << 20), 0);
+}
+
+TrainingConfig paper_config(int nodes) {
+  TrainingConfig cfg;  // Table II defaults
+  cfg.num_nodes = nodes;
+  cfg.global_batch = 32 * nodes;
+  return cfg;
+}
+
+TEST(TrainingSim, ComponentsArePositive) {
+  DlrmTrainingSim sim(paper_config(128));
+  const auto b = sim.simulate(false);
+  EXPECT_GT(b.emb_fwd, 0);
+  EXPECT_GT(b.a2a_fwd, 0);
+  EXPECT_GT(b.top_mlp_fwd, 0);
+  EXPECT_GT(b.total, 0);
+  EXPECT_GE(b.total, b.emb_fwd + b.a2a_fwd);  // serial baseline chain
+}
+
+TEST(TrainingSim, FusedBeatsBaselineAt128Nodes) {
+  DlrmTrainingSim sim(paper_config(128));
+  const auto base = sim.simulate(false);
+  const auto fused = sim.simulate(true);
+  EXPECT_LT(fused.total, base.total);
+  // Paper Fig. 15: ~21% reduction. Accept the band 10-35% here; the bench
+  // records the exact number in EXPERIMENTS.md.
+  const double reduction =
+      1.0 - static_cast<double>(fused.total) / base.total;
+  EXPECT_GT(reduction, 0.10);
+  EXPECT_LT(reduction, 0.35);
+}
+
+TEST(TrainingSim, BenefitGrowsWithScaleThenSaturates) {
+  // More nodes -> bigger exposed A2A share -> more to hide (up to the point
+  // where comm exceeds compute).
+  double prev = 1.0;
+  for (int nodes : {8, 32, 128}) {
+    DlrmTrainingSim sim(paper_config(nodes));
+    const double ratio = sim.fused_speedup();
+    EXPECT_LT(ratio, 1.0);
+    EXPECT_LE(ratio, prev + 0.05);  // non-increasing-ish
+    prev = ratio;
+  }
+}
+
+TEST(TrainingSim, MoreSlicesImproveOverlap) {
+  auto cfg = paper_config(128);
+  cfg.slices = 4;
+  const auto coarse = DlrmTrainingSim(cfg).simulate(true).total;
+  cfg.slices = 256;
+  const auto fine = DlrmTrainingSim(cfg).simulate(true).total;
+  EXPECT_LT(fine, coarse);
+}
+
+}  // namespace
+}  // namespace fcc::scaleout

@@ -1,0 +1,219 @@
+// shmem semantics: symmetric arrays, flags, PUT delivery/ordering, quiet.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpu/machine.h"
+#include "shmem/flags.h"
+#include "shmem/sym_array.h"
+#include "shmem/world.h"
+#include "sim/task.h"
+
+namespace fcc::shmem {
+namespace {
+
+gpu::Machine::Config two_nodes_one_gpu() {
+  gpu::Machine::Config c;
+  c.num_nodes = 2;
+  c.gpus_per_node = 1;
+  return c;
+}
+
+gpu::Machine::Config one_node_four_gpus() {
+  gpu::Machine::Config c;
+  c.num_nodes = 1;
+  c.gpus_per_node = 4;
+  return c;
+}
+
+TEST(SymArray, PerPeStorageIsIndependent) {
+  SymArray<float> a(/*num_pes=*/3, /*elems=*/8);
+  a.pe(0)[0] = 1.0f;
+  a.pe(1)[0] = 2.0f;
+  EXPECT_EQ(a.pe(0)[0], 1.0f);
+  EXPECT_EQ(a.pe(1)[0], 2.0f);
+  EXPECT_EQ(a.pe(2)[0], 0.0f);
+  EXPECT_EQ(a.size_bytes(), 32);
+}
+
+TEST(SymArray, TimingOnlyModeRejectsAccess) {
+  SymArray<float> a(2, 1024, /*functional=*/false);
+  EXPECT_FALSE(a.functional());
+  EXPECT_THROW(a.pe(0), std::logic_error);
+}
+
+TEST(WgDoneMask, LastSetterWins) {
+  WgDoneMask m(4);
+  EXPECT_FALSE(m.set_and_check_last(2));
+  EXPECT_FALSE(m.set_and_check_last(0));
+  EXPECT_FALSE(m.set_and_check_last(3));
+  EXPECT_TRUE(m.set_and_check_last(1));
+  EXPECT_TRUE(m.complete());
+  EXPECT_EQ(m.mask(), 0xFull);
+}
+
+TEST(WgDoneMask, DoubleSetThrows) {
+  WgDoneMask m(2);
+  m.set_and_check_last(0);
+  EXPECT_THROW(m.set_and_check_last(0), std::logic_error);
+}
+
+sim::Task flag_waiter(sim::Engine& e, FlagArray& f, PeId pe, std::size_t i,
+                      TimeNs& woke_at) {
+  co_await f.wait_ge(pe, i, 1);
+  woke_at = e.now();
+}
+
+sim::Task flag_setter(sim::Engine& e, FlagArray& f, PeId pe, std::size_t i,
+                      TimeNs at) {
+  co_await sim::delay(e, at);
+  f.set(pe, i, 1);
+}
+
+TEST(FlagArray, WaitWakesExactlyWhenSet) {
+  gpu::Machine m(two_nodes_one_gpu());
+  FlagArray flags(m.engine(), m.num_pes(), 4);
+  TimeNs woke_at = -1;
+  flag_waiter(m.engine(), flags, 1, 2, woke_at);
+  flag_setter(m.engine(), flags, 1, 2, 500);
+  m.engine().run();
+  EXPECT_EQ(woke_at, 500);
+  EXPECT_EQ(m.engine().live_tasks(), 0);
+}
+
+TEST(FlagArray, WaitOnAlreadySetFlagDoesNotBlock) {
+  gpu::Machine m(two_nodes_one_gpu());
+  FlagArray flags(m.engine(), m.num_pes(), 1);
+  flags.set(0, 0, 7);
+  TimeNs woke_at = -1;
+  flag_waiter(m.engine(), flags, 0, 0, woke_at);
+  EXPECT_EQ(woke_at, 0);
+}
+
+TEST(FlagArray, AddAccumulates) {
+  gpu::Machine m(one_node_four_gpus());
+  FlagArray flags(m.engine(), m.num_pes(), 1);
+  EXPECT_EQ(flags.add(0, 0, 1), 1u);
+  EXPECT_EQ(flags.add(0, 0, 1), 2u);
+  EXPECT_EQ(flags.read(0, 0), 2u);
+}
+
+sim::Task put_driver(sim::Engine& e, World& w, PeId src, PeId dst, Bytes n,
+                     TimeNs& issued_at, TimeNs& delivered_at) {
+  co_await w.put_nbi(src, dst, n, World::IssueKind::kRdma,
+                     [&delivered_at, &e] { delivered_at = e.now(); });
+  issued_at = e.now();
+  co_await w.quiet(src);
+}
+
+TEST(World, PutNbiReturnsAfterIssueDeliversLater) {
+  gpu::Machine m(two_nodes_one_gpu());
+  World w(m);
+  TimeNs issued = -1, delivered = -1;
+  put_driver(m.engine(), w, 0, 1, 1 << 20, issued, delivered);
+  m.engine().run();
+  // Issue cost is the RDMA post overhead only.
+  EXPECT_EQ(issued, m.config().ib.gpu_post_overhead_ns);
+  // Delivery pays NIC proc + wire serialization + wire latency.
+  const double wire_ns = (1 << 20) / m.config().ib.wire_bytes_per_ns;
+  EXPECT_NEAR(static_cast<double>(delivered),
+              static_cast<double>(issued) + m.config().ib.per_msg_proc_ns +
+                  wire_ns + m.config().ib.wire_latency_ns,
+              2.0);
+  EXPECT_GT(delivered, issued);
+  EXPECT_EQ(w.outstanding(0), 0);
+}
+
+sim::Task ordered_puts(sim::Engine& e, World& w, FlagArray& flags,
+                       std::vector<TimeNs>& deliveries) {
+  // Data PUT, fence, then flag PUT — the paper's slice protocol.
+  co_await w.put_nbi(0, 1, 32 * 1024, World::IssueKind::kRdma,
+                     [&] { deliveries.push_back(e.now()); });
+  co_await w.fence(0);
+  co_await w.put_nbi(0, 1, 8, World::IssueKind::kRdma,
+                     [&] {
+                       deliveries.push_back(e.now());
+                       flags.set(1, 0, 1);
+                     });
+}
+
+sim::Task flag_consumer(sim::Engine& e, FlagArray& flags,
+                        std::vector<TimeNs>& deliveries, TimeNs& consumed_at) {
+  co_await flags.wait_ge(1, 0, 1);
+  // The data PUT must already have been delivered (fence + FIFO channel).
+  EXPECT_EQ(deliveries.size(), 2u);
+  consumed_at = e.now();
+}
+
+TEST(World, FlagNeverOvertakesData) {
+  gpu::Machine m(two_nodes_one_gpu());
+  World w(m);
+  FlagArray flags(m.engine(), m.num_pes(), 1);
+  std::vector<TimeNs> deliveries;
+  TimeNs consumed_at = -1;
+  ordered_puts(m.engine(), w, flags, deliveries);
+  flag_consumer(m.engine(), flags, deliveries, consumed_at);
+  m.engine().run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_LE(deliveries[0], deliveries[1]);
+  EXPECT_EQ(consumed_at, deliveries[1]);
+  EXPECT_EQ(m.engine().live_tasks(), 0);
+}
+
+sim::Task quiet_driver(sim::Engine& e, World& w, int puts, TimeNs& quiet_at,
+                       int& delivered_count) {
+  for (int i = 0; i < puts; ++i) {
+    co_await w.put_nbi(0, 1, 64 * 1024, World::IssueKind::kRdma,
+                       [&delivered_count] { ++delivered_count; });
+  }
+  co_await w.quiet(0);
+  quiet_at = e.now();
+}
+
+TEST(World, QuietDrainsAllOutstandingPuts) {
+  gpu::Machine m(two_nodes_one_gpu());
+  World w(m);
+  TimeNs quiet_at = -1;
+  int delivered = 0;
+  quiet_driver(m.engine(), w, 10, quiet_at, delivered);
+  m.engine().run();
+  EXPECT_EQ(delivered, 10);
+  EXPECT_GT(quiet_at, 0);
+  EXPECT_EQ(w.outstanding(0), 0);
+  EXPECT_EQ(w.puts_issued(), 10);
+}
+
+sim::Task local_put(sim::Engine& e, World& w, TimeNs& delivered_at) {
+  co_await w.put_nbi(2, 2, 1024, World::IssueKind::kNone,
+                     [&] { delivered_at = e.now(); });
+  co_await w.quiet(2);
+}
+
+TEST(World, SelfPutDeliversImmediately) {
+  gpu::Machine m(one_node_four_gpus());
+  World w(m);
+  TimeNs delivered = -1;
+  local_put(m.engine(), w, delivered);
+  m.engine().run();
+  EXPECT_EQ(delivered, 0);
+}
+
+sim::Task store_put(sim::Engine& e, World& w, TimeNs& delivered_at) {
+  co_await w.put_nbi(0, 1, 80 * 1000, World::IssueKind::kStore,
+                     [&] { delivered_at = e.now(); });
+  co_await w.quiet(0);
+}
+
+TEST(World, IntraNodeStoreRidesFabric) {
+  gpu::Machine m(one_node_four_gpus());
+  World w(m);
+  TimeNs delivered = -1;
+  store_put(m.engine(), w, delivered);
+  m.engine().run();
+  const auto& f = m.config().fabric;
+  // issue overhead + 80k bytes / 80 B/ns + latency
+  EXPECT_EQ(delivered, f.store_issue_overhead_ns + 1000 + f.latency_ns);
+}
+
+}  // namespace
+}  // namespace fcc::shmem

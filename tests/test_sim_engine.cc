@@ -1,0 +1,169 @@
+// Engine semantics: time monotonicity, same-time FIFO, coroutine tracking.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/co.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+
+namespace fcc::sim {
+namespace {
+
+TEST(Engine, StartsAtZeroAndIdle) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_TRUE(e.idle());
+  EXPECT_EQ(e.run(), 0u);
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine e;
+  std::vector<int> seen;
+  e.schedule_at(30, [&] { seen.push_back(3); });
+  e.schedule_at(10, [&] { seen.push_back(1); });
+  e.schedule_at(20, [&] { seen.push_back(2); });
+  EXPECT_EQ(e.run(), 3u);
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(Engine, SameTimeEventsFireInScheduleOrder) {
+  Engine e;
+  std::vector<int> seen;
+  for (int i = 0; i < 100; ++i) {
+    e.schedule_at(5, [&seen, i] { seen.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(seen[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, NestedSchedulingFromCallbacks) {
+  Engine e;
+  std::vector<TimeNs> fired;
+  e.schedule_at(10, [&] {
+    fired.push_back(e.now());
+    e.schedule_after(5, [&] { fired.push_back(e.now()); });
+  });
+  e.run();
+  EXPECT_EQ(fired, (std::vector<TimeNs>{10, 15}));
+}
+
+TEST(Engine, SchedulingIntoThePastThrows) {
+  Engine e;
+  e.schedule_at(10, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(5, [] {}), std::logic_error);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int count = 0;
+  for (TimeNs t = 10; t <= 100; t += 10) {
+    e.schedule_at(t, [&] { ++count; });
+  }
+  e.run_until(50);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(e.now(), 50);
+  e.run();
+  EXPECT_EQ(count, 10);
+}
+
+Task simple_proc(Engine& e, std::vector<TimeNs>& log) {
+  log.push_back(e.now());
+  co_await delay(e, 100);
+  log.push_back(e.now());
+  co_await delay(e, 0);  // zero-delay still round-trips the queue
+  log.push_back(e.now());
+}
+
+TEST(Task, DelaysAdvanceVirtualTime) {
+  Engine e;
+  std::vector<TimeNs> log;
+  simple_proc(e, log);
+  EXPECT_EQ(e.live_tasks(), 1);  // suspended at first delay
+  e.run();
+  EXPECT_EQ(log, (std::vector<TimeNs>{0, 100, 100}));
+  EXPECT_EQ(e.live_tasks(), 0);
+}
+
+Task spawner(Engine& e, int depth, int& count) {
+  ++count;
+  if (depth > 0) {
+    co_await delay(e, 1);
+    spawner(e, depth - 1, count);
+    spawner(e, depth - 1, count);
+  }
+  co_return;
+}
+
+TEST(Task, RecursiveSpawningTracksLiveness) {
+  Engine e;
+  int count = 0;
+  spawner(e, 10, count);
+  e.run();
+  EXPECT_EQ(count, (1 << 11) - 1);
+  EXPECT_EQ(e.live_tasks(), 0);
+}
+
+Co child(Engine& e, std::vector<int>& log, int id) {
+  log.push_back(id);
+  co_await delay(e, 10);
+  log.push_back(id + 100);
+}
+
+Task parent_proc(Engine& e, std::vector<int>& log) {
+  co_await child(e, log, 1);
+  co_await child(e, log, 2);
+  log.push_back(999);
+}
+
+TEST(Co, SubroutinesRunToCompletionBeforeParentContinues) {
+  Engine e;
+  std::vector<int> log;
+  parent_proc(e, log);
+  e.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 101, 2, 102, 999}));
+  EXPECT_EQ(e.now(), 20);
+  EXPECT_EQ(e.live_tasks(), 0);
+}
+
+Co leaf(Engine& e) { co_await delay(e, 1); }
+
+Co middle(Engine& e, int depth) {
+  if (depth == 0) {
+    co_await leaf(e);
+  } else {
+    co_await middle(e, depth - 1);
+  }
+}
+
+Task deep_proc(Engine& e, bool& done) {
+  co_await middle(e, 200);
+  done = true;
+}
+
+TEST(Co, DeepNestingCompletes) {
+  Engine e;
+  bool done = false;
+  deep_proc(e, done);
+  e.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(e.now(), 1);
+}
+
+TEST(Determinism, TwoIdenticalRunsProduceIdenticalLogs) {
+  auto run_once = [] {
+    Engine e;
+    std::vector<std::pair<TimeNs, int>> log;
+    for (int i = 0; i < 50; ++i) {
+      e.schedule_at((i * 7) % 13, [&log, i, &e] { log.emplace_back(e.now(), i); });
+    }
+    e.run();
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace fcc::sim

@@ -4,6 +4,7 @@
 // ./bench_results/ so EXPERIMENTS.md can reference exact numbers.
 #pragma once
 
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <string>
@@ -15,8 +16,12 @@
 
 namespace fccbench {
 
+/// Results directory; FCC_BENCH_OUT overrides the default ./bench_results
+/// so CI can redirect output to a scratch path.
 inline std::string out_dir() {
-  const std::string dir = "bench_results";
+  const char* env = std::getenv("FCC_BENCH_OUT");
+  const std::string dir = (env != nullptr && *env != '\0') ? env
+                                                           : "bench_results";
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   return dir;

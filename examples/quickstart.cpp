@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "framework/session.h"
+#include "fused/gemv_allreduce.h"
 
 int main() {
   using namespace fcc;
@@ -30,16 +31,18 @@ int main() {
   auto y_fused = session_fused.symmetric_empty(layer.m);
   auto data_fused = fused::GemvAllReduceData::random(layer, 4, y_fused.get(),
                                                      /*seed=*/2024);
-  const auto fused_res = session_fused.gemv_all_reduce(
-      layer, &data_fused, fw::Backend::kFused);
+  const auto fused_res = session_fused.run(
+      fw::make_spec("fcc::gemv_allreduce", layer, &data_fused),
+      fw::Backend::kFused);
 
   // 4. Bulk-synchronous baseline (GEMV kernel, sync, RCCL-style AllReduce).
   fw::Session session_base(machine);
   auto y_base = session_base.symmetric_empty(layer.m);
   auto data_base = fused::GemvAllReduceData::random(layer, 4, y_base.get(),
                                                     /*seed=*/2024);
-  const auto base_res = session_base.gemv_all_reduce(
-      layer, &data_base, fw::Backend::kBaseline);
+  const auto base_res = session_base.run(
+      fw::make_spec("fcc::gemv_allreduce", layer, &data_base),
+      fw::Backend::kBaseline);
 
   // 5. Verify: every GPU holds the same reduced vector on both paths.
   double max_err = 0;

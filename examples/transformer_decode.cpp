@@ -10,6 +10,7 @@
 
 #include "common/table.h"
 #include "framework/session.h"
+#include "fused/gemv_allreduce.h"
 
 int main() {
   using namespace fcc;
@@ -30,10 +31,11 @@ int main() {
 
   auto decode = [&](fw::Backend backend) {
     fw::Session session(machine);
+    const auto spec = fw::make_spec("fcc::gemv_allreduce", layer);
     TimeNs total = 0;
     for (int tok = 0; tok < kTokens; ++tok) {
       for (int l = 0; l < kLayers; ++l) {
-        total += session.gemv_all_reduce(layer, nullptr, backend).duration();
+        total += session.run(spec, backend).duration();
       }
     }
     return total;

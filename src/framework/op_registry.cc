@@ -1,0 +1,45 @@
+#include "framework/op_registry.h"
+
+#include "common/check.h"
+
+namespace fcc::fw {
+
+OpRegistry& OpRegistry::global() {
+  static OpRegistry registry;
+  return registry;
+}
+
+void OpRegistry::register_op(OpEntry entry) {
+  FCC_CHECK_MSG(!entry.name.empty(), "op needs a name");
+  FCC_CHECK_MSG(entry.make != nullptr, "op needs a factory: " << entry.name);
+  FCC_CHECK_MSG(ops_.find(entry.name) == ops_.end(),
+                "duplicate op registration: " << entry.name);
+  ops_.emplace(entry.name, std::move(entry));
+}
+
+bool OpRegistry::contains(const std::string& name) const {
+  return ops_.find(name) != ops_.end();
+}
+
+const OpEntry& OpRegistry::at(const std::string& name) const {
+  auto it = ops_.find(name);
+  FCC_CHECK_MSG(it != ops_.end(), "unknown op: " << name);
+  return it->second;
+}
+
+std::vector<std::string> OpRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(ops_.size());
+  for (const auto& [k, v] : ops_) out.push_back(k);
+  return out;
+}
+
+fused::OperatorResult OpRegistry::run(const OpSpec& spec, shmem::World& world,
+                                      Backend backend) const {
+  auto op = at(spec.name).make(world, spec, backend);
+  FCC_CHECK_MSG(op != nullptr,
+                "factory for op '" << spec.name << "' returned null");
+  return op->run_to_completion();
+}
+
+}  // namespace fcc::fw

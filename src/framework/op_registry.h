@@ -1,0 +1,118 @@
+// Self-registering operator registry (the "new PyTorch operator" table).
+//
+// Each fused operator's translation unit registers a factory at static
+// initialization via OpRegistrar, so adding an operator touches zero
+// framework files: the registry maps an op name to a factory that builds
+// either the fused or the baseline variant as a fused::FusedOp, and
+// Session::run() dispatches any OpSpec through it — mirroring how a graph
+// transformation pass swaps `embedding` + `all_to_all` nodes for
+// `fcc::embedding_a2a` and the compiled graph then invokes it by name.
+#pragma once
+
+#include <any>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fused/op_runtime.h"
+
+namespace fcc::fw {
+
+enum class Backend {
+  kFused,     // GPU-initiated intra-kernel communication
+  kBaseline,  // bulk-synchronous kernels + ccl collectives
+};
+
+/// Type-erased operator invocation: the registry key plus the operator's
+/// config (by value) and optional data payload (typed pointer, so a
+/// mismatched data type throws instead of being silent UB). Build with
+/// make_spec().
+struct OpSpec {
+  std::string name;
+  std::any config;
+  std::any data;  // empty, or a Data* for the operator's data struct
+};
+
+template <typename Config>
+OpSpec make_spec(std::string name, Config config) {
+  OpSpec spec;
+  spec.name = std::move(name);
+  spec.config = std::move(config);
+  return spec;
+}
+
+template <typename Config, typename Data>
+OpSpec make_spec(std::string name, Config config, Data* data) {
+  OpSpec spec = make_spec(std::move(name), std::move(config));
+  if (data != nullptr) spec.data = data;
+  return spec;
+}
+
+/// Typed accessors for factories unpacking an OpSpec. Throw
+/// std::bad_any_cast if the spec carries the wrong config/data type.
+template <typename Config>
+const Config& spec_config(const OpSpec& spec) {
+  return std::any_cast<const Config&>(spec.config);
+}
+
+template <typename Data>
+Data* spec_data(const OpSpec& spec) {
+  if (!spec.data.has_value()) return nullptr;
+  return std::any_cast<Data*>(spec.data);
+}
+
+/// PEs every smoke spec targets (one scale-up node, Table I).
+inline constexpr int kSmokePes = 4;
+
+inline gpu::Machine::Config smoke_machine_config() {
+  gpu::Machine::Config c;
+  c.num_nodes = 1;
+  c.gpus_per_node = kSmokePes;
+  return c;
+}
+
+/// Operator-registry entry: name, the op pattern a graph pass would
+/// rewrite, and the factory building either backend variant.
+struct OpEntry {
+  using Factory = std::function<std::unique_ptr<fused::FusedOp>(
+      shmem::World&, const OpSpec&, Backend)>;
+
+  std::string name;
+  std::string replaces;  // the op pattern a graph pass would rewrite
+  Factory make = nullptr;
+  /// Optional: a small timing-only spec runnable on smoke_machine_config(),
+  /// for registry-wide sweeps (fused-vs-baseline smoke tests, CI).
+  std::function<OpSpec()> smoke_spec = nullptr;
+};
+
+class OpRegistry {
+ public:
+  /// The process-wide registry that operator TUs register into.
+  static OpRegistry& global();
+
+  void register_op(OpEntry entry);
+  bool contains(const std::string& name) const;
+  const OpEntry& at(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  /// Builds the op named by `spec` for `backend` and drives it to
+  /// completion on `world`'s engine.
+  fused::OperatorResult run(const OpSpec& spec, shmem::World& world,
+                            Backend backend) const;
+
+ private:
+  std::map<std::string, OpEntry> ops_;
+};
+
+/// `static const OpRegistrar r{{...}};` in an operator's TU registers it
+/// into the global registry before main().
+struct OpRegistrar {
+  explicit OpRegistrar(OpEntry entry) {
+    OpRegistry::global().register_op(std::move(entry));
+  }
+};
+
+}  // namespace fcc::fw

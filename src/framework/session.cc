@@ -1,37 +1,10 @@
 #include "framework/session.h"
 
-#include "common/check.h"
-
 namespace fcc::fw {
 
-void OpRegistry::register_op(OpEntry entry) {
-  FCC_CHECK_MSG(!entry.name.empty(), "op needs a name");
-  FCC_CHECK_MSG(ops_.find(entry.name) == ops_.end(),
-                "duplicate op registration: " << entry.name);
-  ops_.emplace(entry.name, std::move(entry));
-}
-
-bool OpRegistry::contains(const std::string& name) const {
-  return ops_.find(name) != ops_.end();
-}
-
-const OpEntry& OpRegistry::at(const std::string& name) const {
-  auto it = ops_.find(name);
-  FCC_CHECK_MSG(it != ops_.end(), "unknown op: " << name);
-  return it->second;
-}
-
-std::vector<std::string> OpRegistry::names() const {
-  std::vector<std::string> out;
-  out.reserve(ops_.size());
-  for (const auto& [k, v] : ops_) out.push_back(k);
-  return out;
-}
-
-fused::OperatorResult OpRegistry::run(const std::string& name,
-                                      Session& session,
-                                      Backend backend) const {
-  return at(name).invoke(session, backend);
+fused::OperatorResult Session::run(const OpSpec& spec, Backend backend,
+                                   const OpRegistry& registry) {
+  return registry.run(spec, world_, backend);
 }
 
 }  // namespace fcc::fw

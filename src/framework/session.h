@@ -2,31 +2,20 @@
 //
 // A Session bundles the simulated platform (Machine + shmem World) behind
 // the kind of API an ML framework exposes: symmetric-tensor allocation
-// (`torch.tensor.to(symmetric_device)` analog) and the fused operators as
-// named framework ops (`torch.embeddingAll2AllOp()` analog). The registry
-// maps operator names to dispatch entries so a graph transformation pass
-// can swap `embedding` + `all_to_all` nodes for `fused::embedding_a2a`.
+// (`torch.tensor.to(symmetric_device)` analog) and a single generic
+// dispatch path, `run(OpSpec, Backend)`, over the self-registering
+// OpRegistry. The session knows no concrete operator — each operator's TU
+// registers its own factory, so adding one touches no framework file.
 #pragma once
 
-#include <functional>
-#include <map>
 #include <memory>
-#include <string>
-#include <vector>
 
-#include "fused/embedding_a2a.h"
-#include "fused/gemm_a2a.h"
-#include "fused/gemv_allreduce.h"
+#include "framework/op_registry.h"
 #include "gpu/machine.h"
 #include "shmem/sym_array.h"
 #include "shmem/world.h"
 
 namespace fcc::fw {
-
-enum class Backend {
-  kFused,     // GPU-initiated intra-kernel communication
-  kBaseline,  // bulk-synchronous kernels + ccl collectives
-};
 
 class Session {
  public:
@@ -45,64 +34,16 @@ class Session {
                                                     functional);
   }
 
-  // ---- fused operators exposed as framework ops ----
-
-  fused::OperatorResult embedding_all_to_all(
-      const fused::EmbeddingA2AConfig& cfg, fused::EmbeddingA2AData* data,
-      Backend backend = Backend::kFused) {
-    if (backend == Backend::kFused) {
-      return fused::FusedEmbeddingAllToAll(world_, cfg, data)
-          .run_to_completion();
-    }
-    return fused::BaselineEmbeddingAllToAll(world_, cfg, data)
-        .run_to_completion();
-  }
-
-  fused::OperatorResult gemv_all_reduce(
-      const fused::GemvAllReduceConfig& cfg, fused::GemvAllReduceData* data,
-      Backend backend = Backend::kFused) {
-    if (backend == Backend::kFused) {
-      return fused::FusedGemvAllReduce(world_, cfg, data).run_to_completion();
-    }
-    return fused::BaselineGemvAllReduce(world_, cfg, data).run_to_completion();
-  }
-
-  fused::OperatorResult gemm_all_to_all(
-      const fused::GemmA2AConfig& cfg, fused::GemmA2AData* data,
-      Backend backend = Backend::kFused) {
-    if (backend == Backend::kFused) {
-      return fused::FusedGemmAllToAll(world_, cfg, data).run_to_completion();
-    }
-    return fused::BaselineGemmAllToAll(world_, cfg, data).run_to_completion();
-  }
+  /// Dispatches any registered operator by name, e.g.
+  ///   session.run(make_spec("fcc::gemv_allreduce", cfg, &data),
+  ///               Backend::kFused);
+  fused::OperatorResult run(const OpSpec& spec,
+                            Backend backend = Backend::kFused,
+                            const OpRegistry& registry = OpRegistry::global());
 
  private:
   gpu::Machine machine_;
   shmem::World world_;
-};
-
-/// Operator-registry entry: dispatches one named op on a session.
-struct OpEntry {
-  std::string name;
-  std::string replaces;  // the op pattern a graph pass would rewrite
-  std::function<fused::OperatorResult(Session&, Backend)> invoke;
-};
-
-/// Name -> operator registry (the "new PyTorch operator" table). Callers
-/// register closures over their configs/data, then dispatch by name —
-/// mirroring how a compiled graph invokes custom ops.
-class OpRegistry {
- public:
-  void register_op(OpEntry entry);
-  bool contains(const std::string& name) const;
-  const OpEntry& at(const std::string& name) const;
-  std::vector<std::string> names() const;
-
-  fused::OperatorResult run(const std::string& name, Session& session,
-                            Backend backend) const;
-
- private:
-  std::map<std::string, OpEntry> ops_;
 };
 
 }  // namespace fcc::fw

@@ -3,34 +3,11 @@
 #include <algorithm>
 #include <utility>
 
+#include "framework/op_registry.h"
 #include "gpu/stream.h"
 #include "sim/task.h"
 
 namespace fcc::fused {
-namespace {
-
-/// Watches one kernel run and records its completion time.
-sim::Task watch_completion(sim::Engine& engine, gpu::KernelRun& run,
-                           TimeNs& out) {
-  co_await run.wait();
-  out = engine.now();
-}
-
-std::vector<PeId> all_pes(gpu::Machine& m) {
-  std::vector<PeId> v;
-  for (PeId p = 0; p < m.num_pes(); ++p) v.push_back(p);
-  return v;
-}
-
-}  // namespace
-
-double OperatorResult::skew() const {
-  if (pe_end.empty()) return 0.0;
-  const TimeNs hi = *std::max_element(pe_end.begin(), pe_end.end());
-  const TimeNs lo = *std::min_element(pe_end.begin(), pe_end.end());
-  if (hi <= start) return 0.0;
-  return static_cast<double>(hi - lo) / static_cast<double>(hi - start);
-}
 
 EmbeddingA2AData EmbeddingA2AData::random(const EmbeddingA2AConfig& cfg,
                                           shmem::SymArray<float>* out,
@@ -62,26 +39,22 @@ gpu::KernelResources FusedEmbeddingAllToAll::fused_resources() {
 FusedEmbeddingAllToAll::FusedEmbeddingAllToAll(shmem::World& world,
                                                EmbeddingA2AConfig cfg,
                                                EmbeddingA2AData* data)
-    : world_(world), cfg_(std::move(cfg)), data_(data) {
+    : FusedOp(world), cfg_(std::move(cfg)), data_(data) {
   cfg_.map.validate();
   FCC_CHECK(cfg_.map.num_pes == world_.n_pes());
   if (cfg_.functional) {
     FCC_CHECK_MSG(data_ != nullptr && data_->output != nullptr,
                   "functional mode needs EmbeddingA2AData");
   }
-  const auto& spec = world_.machine().device(0).spec();
-  if (cfg_.occupancy_slots_override > 0) {
-    slots_per_pe_ = cfg_.occupancy_slots_override;
-  } else {
-    // Launch at the lesser of the occupancy limit and the HBM-contention
-    // knee: Fig. 13 shows the memory-intensive fused kernel degrades past
-    // ~75% occupancy, so the persistent grid is tuned to the knee.
-    const int limit = gpu::max_active_wgs(spec, fused_resources());
-    const int knee = static_cast<int>(spec.max_wg_slots() *
-                                      ops::kFusedEmbeddingCurve.knee_frac);
-    slots_per_pe_ = std::min(limit, knee);
-  }
-  FCC_CHECK(slots_per_pe_ >= 1);
+  // Launch at the lesser of the occupancy limit and the HBM-contention
+  // knee: Fig. 13 shows the memory-intensive fused kernel degrades past
+  // ~75% occupancy, so the persistent grid is tuned to the knee.
+  slots_per_pe_ =
+      OccupancyPlan::resolve(
+          world_.machine().device(0).spec(), fused_resources(),
+          {.override_slots = cfg_.occupancy_slots_override,
+           .knee_frac = ops::kFusedEmbeddingCurve.knee_frac})
+          .slots;
 }
 
 std::size_t FusedEmbeddingAllToAll::flag_index(PeId src, int table,
@@ -105,17 +78,14 @@ sim::Co FusedEmbeddingAllToAll::run() {
                   std::vector<shmem::WgDoneMask>(
                       static_cast<std::size_t>(map.num_slices()),
                       shmem::WgDoneMask(map.wgs_per_slice())));
-  slice_rdy_ = std::make_unique<shmem::FlagArray>(
-      engine, pes, static_cast<std::size_t>(map.num_slices()));
+  slice_rdy_.reset(engine, pes, static_cast<std::size_t>(map.num_slices()));
   if (cfg_.functional) {
     stage_.assign(static_cast<std::size_t>(pes),
                   std::vector<std::vector<float>>(
                       static_cast<std::size_t>(map.num_slices())));
   }
   runs_.clear();
-  result_ = OperatorResult{};
-  result_.start = engine.now();
-  result_.pe_end.assign(static_cast<std::size_t>(pes), 0);
+  begin_run(pes);
 
   // One persistent-kernel launch per PE.
   co_await sim::delay(engine, spec.kernel_launch_ns);
@@ -124,7 +94,7 @@ sim::Co FusedEmbeddingAllToAll::run() {
     gpu::KernelRun::Params p;
     p.name = "fused_emb_a2a";
     p.num_slots = slots_per_pe_;
-    p.order = gpu::make_schedule(
+    p.order = ordered_tasks(
         map.num_logical_wgs(), cfg_.policy,
         [&map, pe](int lw) { return map.wg_is_remote(pe, lw); });
     p.body = [this, pe](int slot, int lw) { return pe_kernel_wg(pe, slot, lw); };
@@ -142,7 +112,7 @@ sim::Co FusedEmbeddingAllToAll::run() {
 
   // Host observes completion via one stream sync.
   co_await sim::delay(engine, spec.stream_sync_ns);
-  result_.end = engine.now();
+  finish_run();
 }
 
 sim::Co FusedEmbeddingAllToAll::pe_kernel_wg(PeId pe, int slot, int lw) {
@@ -248,14 +218,12 @@ sim::Co FusedEmbeddingAllToAll::emit_slice_from_slot(PeId pe, int slot,
     co_return;
   }
 
-  auto* flags = slice_rdy_.get();
   const bool same_node = machine.same_node(pe, dest);
   if (same_node && cfg_.zero_copy) {
     // Zero-copy scale-up: data already stored per-WG; order the flag behind
     // those stores and set it remotely.
     co_await world_.fence(pe);
-    co_await world_.put_nbi(pe, dest, 8, shmem::World::IssueKind::kStore,
-                            [flags, dest, fidx] { flags->set(dest, fidx, 1); });
+    co_await slice_rdy_.signal(world_, pe, dest, fidx);
   } else {
     // Staged path: one PUT for the whole slice (RDMA inter-node, blit-style
     // copy intra-node when zero-copy is disabled), fence, sliceRdy flag.
@@ -282,8 +250,7 @@ sim::Co FusedEmbeddingAllToAll::emit_slice_from_slot(PeId pe, int slot,
     co_await world_.put_nbi(pe, dest, map.slice_bytes(), kind,
                             std::move(deliver));
     co_await world_.fence(pe);
-    co_await world_.put_nbi(pe, dest, 8, kind,
-                            [flags, dest, fidx] { flags->set(dest, fidx, 1); });
+    co_await slice_rdy_.signal(world_, pe, dest, fidx, kind);
   }
   if (cfg_.emit_trace && machine.trace().enabled()) {
     machine.trace().add_instant(
@@ -301,21 +268,6 @@ sim::Co FusedEmbeddingAllToAll::pe_epilogue(PeId pe, int slot) {
   }
 }
 
-OperatorResult FusedEmbeddingAllToAll::run_to_completion() {
-  auto& engine = world_.machine().engine();
-  struct Driver {
-    static sim::Task go(sim::Engine&, FusedEmbeddingAllToAll& op) {
-      co_await op.run();
-    }
-  };
-  Driver::go(engine, *this);
-  engine.run();
-  FCC_CHECK_MSG(engine.live_tasks() == 0,
-                "fused embedding+A2A deadlocked: " << engine.live_tasks()
-                                                   << " tasks suspended");
-  return result_;
-}
-
 // ---------------------------------------------------------------------------
 // Bulk-synchronous baseline
 // ---------------------------------------------------------------------------
@@ -330,7 +282,7 @@ gpu::KernelResources BaselineEmbeddingAllToAll::baseline_resources() {
 BaselineEmbeddingAllToAll::BaselineEmbeddingAllToAll(shmem::World& world,
                                                      EmbeddingA2AConfig cfg,
                                                      EmbeddingA2AData* data)
-    : world_(world),
+    : FusedOp(world),
       cfg_(std::move(cfg)),
       data_(data),
       comm_(world.machine(), all_pes(world.machine())) {
@@ -347,9 +299,10 @@ sim::Co BaselineEmbeddingAllToAll::table_kernel(PeId pe, int table) {
   const auto& spec = machine.device(pe).spec();
   gpu::KernelRun::Params p;
   p.name = "emb_table_kernel";
-  p.num_slots = cfg_.occupancy_slots_override > 0
-                    ? cfg_.occupancy_slots_override
-                    : gpu::max_active_wgs(spec, baseline_resources());
+  p.num_slots =
+      OccupancyPlan::resolve(spec, baseline_resources(),
+                             {.override_slots = cfg_.occupancy_slots_override})
+          .slots;
   p.order.resize(static_cast<std::size_t>(map.global_batch));
   for (int b = 0; b < map.global_batch; ++b) {
     p.order[static_cast<std::size_t>(b)] = b;
@@ -406,8 +359,7 @@ sim::Co BaselineEmbeddingAllToAll::run() {
   const int pes = map.num_pes;
   const auto& spec = machine.device(0).spec();
 
-  result_ = OperatorResult{};
-  result_.start = engine.now();
+  begin_run(pes);
   compute_end_.assign(static_cast<std::size_t>(pes), 0);
 
   const std::size_t chunk_elems = static_cast<std::size_t>(map.tables_per_pe) *
@@ -474,22 +426,41 @@ sim::Co BaselineEmbeddingAllToAll::run() {
     }
   }
 
-  result_.end = engine.now();
-  result_.pe_end.assign(static_cast<std::size_t>(pes), result_.end);
+  finish_run_uniform();
 }
 
-OperatorResult BaselineEmbeddingAllToAll::run_to_completion() {
-  auto& engine = world_.machine().engine();
-  struct Driver {
-    static sim::Task go(sim::Engine&, BaselineEmbeddingAllToAll& op) {
-      co_await op.run();
-    }
-  };
-  Driver::go(engine, *this);
-  engine.run();
-  FCC_CHECK_MSG(engine.live_tasks() == 0,
-                "baseline embedding+A2A deadlocked");
-  return result_;
-}
+// ---------------------------------------------------------------------------
+// Registry entry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const fw::OpRegistrar embedding_a2a_registrar{{
+    .name = "fcc::embedding_a2a",
+    .replaces = "aten::embedding_bag + c10d::all_to_all",
+    .make =
+        [](shmem::World& world, const fw::OpSpec& spec, fw::Backend backend)
+        -> std::unique_ptr<FusedOp> {
+      const auto& cfg = fw::spec_config<EmbeddingA2AConfig>(spec);
+      auto* data = fw::spec_data<EmbeddingA2AData>(spec);
+      if (backend == fw::Backend::kFused) {
+        return std::make_unique<FusedEmbeddingAllToAll>(world, cfg, data);
+      }
+      return std::make_unique<BaselineEmbeddingAllToAll>(world, cfg, data);
+    },
+    .smoke_spec =
+        [] {
+          EmbeddingA2AConfig cfg;
+          cfg.map.num_pes = fw::kSmokePes;
+          cfg.map.tables_per_pe = 4;
+          cfg.map.global_batch = 128;
+          cfg.map.dim = 64;
+          cfg.map.vectors_per_slice = 8;
+          cfg.functional = false;
+          return fw::make_spec("fcc::embedding_a2a", cfg);
+        },
+}};
+
+}  // namespace
 
 }  // namespace fcc::fused

@@ -20,7 +20,7 @@
 
 #include "ccl/communicator.h"
 #include "common/types.h"
-#include "fused/result.h"
+#include "fused/op_runtime.h"
 #include "fused/slice.h"
 #include "gpu/occupancy.h"
 #include "gpu/persistent.h"
@@ -73,18 +73,17 @@ struct EmbeddingA2AData {
                                  std::uint64_t seed);
 };
 
-class FusedEmbeddingAllToAll {
+class FusedEmbeddingAllToAll final : public FusedOp {
  public:
   FusedEmbeddingAllToAll(shmem::World& world, EmbeddingA2AConfig cfg,
                          EmbeddingA2AData* data);
 
+  const char* name() const override { return "fused_embedding_a2a"; }
+  gpu::KernelResources resources() const override { return fused_resources(); }
+
   /// Awaitable from a host driver coroutine; fills `result()`.
-  sim::Co run();
+  sim::Co run() override;
 
-  /// Convenience: spawn + drain the engine (for benches running one op).
-  OperatorResult run_to_completion();
-
-  const OperatorResult& result() const { return result_; }
   int slots_per_pe() const { return slots_per_pe_; }
 
   /// Kernel resources of the fused kernel (baseline regs + shmem context).
@@ -97,27 +96,28 @@ class FusedEmbeddingAllToAll {
   sim::Co emit_slice_from_slot(PeId pe, int slot, int slice);
   std::size_t flag_index(PeId src, int table, int group) const;
 
-  shmem::World& world_;
   EmbeddingA2AConfig cfg_;
   EmbeddingA2AData* data_;
   int slots_per_pe_ = 0;
 
   // Per-PE runtime state, rebuilt by run().
   std::vector<std::vector<shmem::WgDoneMask>> wg_done_;     // [pe][slice]
-  std::unique_ptr<shmem::FlagArray> slice_rdy_;             // [pe][flag]
+  FlagSet slice_rdy_;                                       // [pe][flag]
   std::vector<std::vector<std::vector<float>>> stage_;      // [pe][slice][...]
   std::vector<std::unique_ptr<gpu::KernelRun>> runs_;
-  OperatorResult result_;
 };
 
-class BaselineEmbeddingAllToAll {
+class BaselineEmbeddingAllToAll final : public FusedOp {
  public:
   BaselineEmbeddingAllToAll(shmem::World& world, EmbeddingA2AConfig cfg,
                             EmbeddingA2AData* data);
 
-  sim::Co run();
-  OperatorResult run_to_completion();
-  const OperatorResult& result() const { return result_; }
+  const char* name() const override { return "baseline_embedding_a2a"; }
+  gpu::KernelResources resources() const override {
+    return baseline_resources();
+  }
+
+  sim::Co run() override;
 
   static gpu::KernelResources baseline_resources();
 
@@ -125,7 +125,6 @@ class BaselineEmbeddingAllToAll {
   sim::Co table_kernel(PeId pe, int table);
   sim::Co pe_compute(PeId pe, sim::JoinCounter& done);
 
-  shmem::World& world_;
   EmbeddingA2AConfig cfg_;
   EmbeddingA2AData* data_;
   ccl::Communicator comm_;
@@ -133,7 +132,6 @@ class BaselineEmbeddingAllToAll {
   // Functional staging: send/recv in ccl chunk layout [dest|src][t][lb][dim].
   std::vector<std::vector<float>> send_, recv_;
   std::vector<TimeNs> compute_end_;
-  OperatorResult result_;
 };
 
 }  // namespace fcc::fused

@@ -2,20 +2,12 @@
 
 #include <utility>
 
+#include "framework/op_registry.h"
 #include "gpu/stream.h"
 #include "ops/gemv.h"  // random_vector
 #include "sim/task.h"
 
 namespace fcc::fused {
-namespace {
-
-std::vector<PeId> all_pes(gpu::Machine& m) {
-  std::vector<PeId> v;
-  for (PeId p = 0; p < m.num_pes(); ++p) v.push_back(p);
-  return v;
-}
-
-}  // namespace
 
 GemmA2AData GemmA2AData::random(const GemmA2AConfig& cfg, int num_pes,
                                 shmem::SymArray<float>* out,
@@ -48,7 +40,7 @@ gpu::KernelResources FusedGemmAllToAll::fused_resources() {
 
 FusedGemmAllToAll::FusedGemmAllToAll(shmem::World& world, GemmA2AConfig cfg,
                                      GemmA2AData* data)
-    : world_(world),
+    : FusedOp(world),
       cfg_(cfg),
       data_(data),
       num_pes_(world.n_pes()),
@@ -70,8 +62,7 @@ sim::Co FusedGemmAllToAll::run() {
   auto& engine = machine.engine();
   const auto& spec = machine.device(0).spec();
 
-  arrivals_ = std::make_unique<shmem::FlagArray>(
-      engine, num_pes_, static_cast<std::size_t>(num_pes_));
+  arrivals_.reset(engine, num_pes_, static_cast<std::size_t>(num_pes_));
 
   // --- the fused kernel, authored with the DSL's comm extensions ---
   kernel_ = std::make_unique<triton::TileKernel>("moe_combine_fused", shape_,
@@ -113,9 +104,7 @@ sim::Co FusedGemmAllToAll::run() {
         return static_cast<std::size_t>(ctx.pe);
       });
 
-  result_ = OperatorResult{};
-  result_.start = engine.now();
-  result_.pe_end.assign(static_cast<std::size_t>(num_pes_), 0);
+  begin_run(num_pes_);
 
   co_await sim::delay(engine, spec.kernel_launch_ns);
 
@@ -132,7 +121,7 @@ sim::Co FusedGemmAllToAll::run() {
   }
   co_await done.wait();
   co_await sim::delay(engine, spec.stream_sync_ns);
-  result_.end = engine.now();
+  finish_run();
 }
 
 sim::Co FusedGemmAllToAll::pe_driver(PeId pe, sim::JoinCounter& done) {
@@ -167,19 +156,6 @@ sim::Co FusedGemmAllToAll::pe_driver(PeId pe, sim::JoinCounter& done) {
   done.arrive();
 }
 
-OperatorResult FusedGemmAllToAll::run_to_completion() {
-  auto& engine = world_.machine().engine();
-  struct Driver {
-    static sim::Task go(sim::Engine&, FusedGemmAllToAll& op) {
-      co_await op.run();
-    }
-  };
-  Driver::go(engine, *this);
-  engine.run();
-  FCC_CHECK_MSG(engine.live_tasks() == 0, "fused GEMM+A2A deadlocked");
-  return result_;
-}
-
 // ---------------------------------------------------------------------------
 // Bulk-synchronous baseline
 // ---------------------------------------------------------------------------
@@ -187,7 +163,7 @@ OperatorResult FusedGemmAllToAll::run_to_completion() {
 BaselineGemmAllToAll::BaselineGemmAllToAll(shmem::World& world,
                                            GemmA2AConfig cfg,
                                            GemmA2AData* data)
-    : world_(world),
+    : FusedOp(world),
       cfg_(cfg),
       data_(data),
       comm_(world.machine(), all_pes(world.machine())) {
@@ -203,8 +179,7 @@ sim::Co BaselineGemmAllToAll::run() {
   const auto& spec = machine.device(0).spec();
   const auto shape = cfg_.shape(pes);
 
-  result_ = OperatorResult{};
-  result_.start = engine.now();
+  begin_run(pes);
   if (cfg_.functional) {
     c_.assign(static_cast<std::size_t>(pes),
               std::vector<float>(static_cast<std::size_t>(shape.m) *
@@ -277,21 +252,39 @@ sim::Co BaselineGemmAllToAll::run() {
   co_await comm_.all_to_all(chunk_elems, std::move(send), std::move(recv));
   co_await sim::delay(engine, spec.stream_sync_ns);
 
-  result_.end = engine.now();
-  result_.pe_end.assign(static_cast<std::size_t>(pes), result_.end);
+  finish_run_uniform();
 }
 
-OperatorResult BaselineGemmAllToAll::run_to_completion() {
-  auto& engine = world_.machine().engine();
-  struct Driver {
-    static sim::Task go(sim::Engine&, BaselineGemmAllToAll& op) {
-      co_await op.run();
-    }
-  };
-  Driver::go(engine, *this);
-  engine.run();
-  FCC_CHECK_MSG(engine.live_tasks() == 0, "baseline GEMM+A2A deadlocked");
-  return result_;
-}
+// ---------------------------------------------------------------------------
+// Registry entry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const fw::OpRegistrar gemm_a2a_registrar{{
+    .name = "fcc::gemm_a2a",
+    .replaces = "aten::mm + c10d::all_to_all (MoE combine)",
+    .make =
+        [](shmem::World& world, const fw::OpSpec& spec, fw::Backend backend)
+        -> std::unique_ptr<FusedOp> {
+      const auto& cfg = fw::spec_config<GemmA2AConfig>(spec);
+      auto* data = fw::spec_data<GemmA2AData>(spec);
+      if (backend == fw::Backend::kFused) {
+        return std::make_unique<FusedGemmAllToAll>(world, cfg, data);
+      }
+      return std::make_unique<BaselineGemmAllToAll>(world, cfg, data);
+    },
+    .smoke_spec =
+        [] {
+          GemmA2AConfig cfg;
+          cfg.rows_per_origin = 256;
+          cfg.d_model = 256;
+          cfg.d_ff = 512;
+          cfg.functional = false;
+          return fw::make_spec("fcc::gemm_a2a", cfg);
+        },
+}};
+
+}  // namespace
 
 }  // namespace fcc::fused

@@ -15,7 +15,7 @@
 
 #include "ccl/communicator.h"
 #include "common/rng.h"
-#include "fused/result.h"
+#include "fused/op_runtime.h"
 #include "gpu/schedule.h"
 #include "ops/cost_model.h"
 #include "ops/gemm.h"
@@ -63,14 +63,15 @@ struct GemmA2AData {
                             shmem::SymArray<float>* out, std::uint64_t seed);
 };
 
-class FusedGemmAllToAll {
+class FusedGemmAllToAll final : public FusedOp {
  public:
   FusedGemmAllToAll(shmem::World& world, GemmA2AConfig cfg,
                     GemmA2AData* data);
 
-  sim::Co run();
-  OperatorResult run_to_completion();
-  const OperatorResult& result() const { return result_; }
+  const char* name() const override { return "fused_gemm_a2a"; }
+  gpu::KernelResources resources() const override { return fused_resources(); }
+
+  sim::Co run() override;
 
   PeId origin_of_tile(int pid) const;
 
@@ -79,32 +80,31 @@ class FusedGemmAllToAll {
  private:
   sim::Co pe_driver(PeId pe, sim::JoinCounter& done);
 
-  shmem::World& world_;
   GemmA2AConfig cfg_;
   GemmA2AData* data_;
   int num_pes_;
   ops::GemmShape shape_;
-  std::unique_ptr<shmem::FlagArray> arrivals_;  // [pe][src] tile counters
+  FlagSet arrivals_;  // [pe][src] tile counters
   std::unique_ptr<triton::TileKernel> kernel_;
-  OperatorResult result_;
 };
 
-class BaselineGemmAllToAll {
+class BaselineGemmAllToAll final : public FusedOp {
  public:
   BaselineGemmAllToAll(shmem::World& world, GemmA2AConfig cfg,
                        GemmA2AData* data);
 
-  sim::Co run();
-  OperatorResult run_to_completion();
-  const OperatorResult& result() const { return result_; }
+  const char* name() const override { return "baseline_gemm_a2a"; }
+  // The plain tile-DSL GEMM needs no shmem context; the default footprint
+  // (256 threads, 128 VGPRs) is exactly the baseline kernel's.
+  gpu::KernelResources resources() const override { return {}; }
+
+  sim::Co run() override;
 
  private:
-  shmem::World& world_;
   GemmA2AConfig cfg_;
   GemmA2AData* data_;
   ccl::Communicator comm_;
   std::vector<std::vector<float>> c_;  // [pe][m * n] staged GEMM output
-  OperatorResult result_;
 };
 
 }  // namespace fcc::fused

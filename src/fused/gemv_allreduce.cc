@@ -3,26 +3,12 @@
 #include <algorithm>
 #include <utility>
 
+#include "framework/op_registry.h"
 #include "gpu/persistent.h"
 #include "gpu/stream.h"
 #include "sim/task.h"
 
 namespace fcc::fused {
-namespace {
-
-std::vector<PeId> all_pes(gpu::Machine& m) {
-  std::vector<PeId> v;
-  for (PeId p = 0; p < m.num_pes(); ++p) v.push_back(p);
-  return v;
-}
-
-sim::Task watch_join(sim::Engine& engine, sim::JoinCounter& join,
-                     TimeNs& out) {
-  co_await join.wait();
-  out = engine.now();
-}
-
-}  // namespace
 
 GemvAllReduceData GemvAllReduceData::random(const GemvAllReduceConfig& cfg,
                                             int num_pes,
@@ -54,7 +40,7 @@ gpu::KernelResources FusedGemvAllReduce::fused_resources() {
 FusedGemvAllReduce::FusedGemvAllReduce(shmem::World& world,
                                        GemvAllReduceConfig cfg,
                                        GemvAllReduceData* data)
-    : world_(world),
+    : FusedOp(world),
       cfg_(cfg),
       data_(data),
       num_pes_(world.n_pes()),
@@ -81,19 +67,16 @@ sim::Co FusedGemvAllReduce::run() {
   auto& engine = machine.engine();
   const auto& spec = machine.device(0).spec();
 
-  const int slots = cfg_.occupancy_slots_override > 0
-                        ? cfg_.occupancy_slots_override
-                        : gpu::max_active_wgs(spec, fused_resources());
-  active_slots_ = std::min(slots, num_tiles_);
+  active_slots_ =
+      OccupancyPlan::resolve(spec, fused_resources(),
+                             {.override_slots = cfg_.occupancy_slots_override,
+                              .max_tasks = num_tiles_})
+          .slots;
 
-  arrive_flags_ = std::make_unique<shmem::FlagArray>(
-      engine, num_pes_,
-      static_cast<std::size_t>(num_pes_) *
-          static_cast<std::size_t>(active_slots_));
-  bcast_flags_ = std::make_unique<shmem::FlagArray>(
-      engine, num_pes_,
-      static_cast<std::size_t>(num_pes_) *
-          static_cast<std::size_t>(active_slots_));
+  const std::size_t flags_per_pe = static_cast<std::size_t>(num_pes_) *
+                                   static_cast<std::size_t>(active_slots_);
+  arrive_flags_.reset(engine, num_pes_, flags_per_pe);
+  bcast_flags_.reset(engine, num_pes_, flags_per_pe);
   if (cfg_.functional) {
     local_partial_.assign(static_cast<std::size_t>(num_pes_),
                           std::vector<float>(static_cast<std::size_t>(shape_.m),
@@ -108,9 +91,7 @@ sim::Co FusedGemvAllReduce::run() {
   for (int pe = 0; pe < num_pes_; ++pe) {
     pe_done_.push_back(std::make_unique<sim::JoinCounter>(engine, active_slots_));
   }
-  result_ = OperatorResult{};
-  result_.start = engine.now();
-  result_.pe_end.assign(static_cast<std::size_t>(num_pes_), 0);
+  begin_run(num_pes_);
 
   co_await sim::delay(engine, spec.kernel_launch_ns);
 
@@ -125,33 +106,24 @@ sim::Co FusedGemvAllReduce::run() {
     co_await pe_done_[static_cast<std::size_t>(pe)]->wait();
   }
   co_await sim::delay(engine, spec.stream_sync_ns);
-  result_.end = engine.now();
+  finish_run();
 }
 
 sim::Task FusedGemvAllReduce::slot_proc(sim::Engine& /*engine*/, PeId pe,
                                         int slot) {
   // Task list: tiles with tile % slots == slot, comm-aware ordered (tiles
   // this GPU does NOT own first, so their stores overlap local compute).
-  std::vector<int> mine;
-  for (int t = slot; t < num_tiles_; t += active_slots_) mine.push_back(t);
-  if (cfg_.policy == gpu::SchedulePolicy::kCommAware) {
-    std::stable_partition(mine.begin(), mine.end(),
-                          [&](int t) { return owner_of_tile(t) != pe; });
-  }
+  const std::vector<int> mine = ordered_tasks(
+      strided_tasks(slot, num_tiles_, active_slots_), cfg_.policy,
+      [this, pe](int t) { return owner_of_tile(t) != pe; });
 
   for (int tile : mine) {
     co_await compute_tile(pe, slot, tile);
   }
 
   // Arrival flags: data stores are ordered ahead of these by channel FIFO.
-  co_await world_.fence(pe);
-  for (PeId peer = 0; peer < num_pes_; ++peer) {
-    if (peer == pe) continue;
-    auto* flags = arrive_flags_.get();
-    const std::size_t idx = flag_index(pe, slot);
-    co_await world_.put_nbi(pe, peer, 8, shmem::World::IssueKind::kStore,
-                            [flags, peer, idx] { flags->set(peer, idx, 1); });
-  }
+  co_await arrive_flags_.fence_and_signal_peers(world_, pe,
+                                                flag_index(pe, slot));
 
   co_await reduce_and_broadcast(pe, slot);
 
@@ -214,8 +186,7 @@ sim::Co FusedGemvAllReduce::compute_tile(PeId pe, int slot, int tile) {
 }
 
 sim::Co FusedGemvAllReduce::reduce_and_broadcast(PeId pe, int slot) {
-  auto& machine = world_.machine();
-  auto& dev = machine.device(pe);
+  auto& dev = world_.machine().device(pe);
 
   // Wait for counterpart slots on every peer to finish storing partials.
   for (PeId peer = 0; peer < num_pes_; ++peer) {
@@ -225,18 +196,12 @@ sim::Co FusedGemvAllReduce::reduce_and_broadcast(PeId pe, int slot) {
 
   // Owned tiles assigned to this slot.
   std::vector<int> owned;
-  for (int t = slot; t < num_tiles_; t += active_slots_) {
+  for (int t : strided_tasks(slot, num_tiles_, active_slots_)) {
     if (owner_of_tile(t) == pe) owned.push_back(t);
   }
   if (owned.empty()) {
     // Still must release peers waiting on our broadcast flag.
-    for (PeId peer = 0; peer < num_pes_; ++peer) {
-      if (peer == pe) continue;
-      auto* flags = bcast_flags_.get();
-      const std::size_t idx = flag_index(pe, slot);
-      co_await world_.put_nbi(pe, peer, 8, shmem::World::IssueKind::kStore,
-                              [flags, peer, idx] { flags->set(peer, idx, 1); });
-    }
+    co_await bcast_flags_.signal_peers(world_, pe, flag_index(pe, slot));
     co_return;
   }
 
@@ -293,27 +258,8 @@ sim::Co FusedGemvAllReduce::reduce_and_broadcast(PeId pe, int slot) {
   }
 
   // Broadcast flags after all final-tile stores (channel FIFO + fence).
-  co_await world_.fence(pe);
-  for (PeId peer = 0; peer < num_pes_; ++peer) {
-    if (peer == pe) continue;
-    auto* flags = bcast_flags_.get();
-    const std::size_t idx = flag_index(pe, slot);
-    co_await world_.put_nbi(pe, peer, 8, shmem::World::IssueKind::kStore,
-                            [flags, peer, idx] { flags->set(peer, idx, 1); });
-  }
-}
-
-OperatorResult FusedGemvAllReduce::run_to_completion() {
-  auto& engine = world_.machine().engine();
-  struct Driver {
-    static sim::Task go(sim::Engine&, FusedGemvAllReduce& op) {
-      co_await op.run();
-    }
-  };
-  Driver::go(engine, *this);
-  engine.run();
-  FCC_CHECK_MSG(engine.live_tasks() == 0, "fused GEMV+AllReduce deadlocked");
-  return result_;
+  co_await bcast_flags_.fence_and_signal_peers(world_, pe,
+                                               flag_index(pe, slot));
 }
 
 // ---------------------------------------------------------------------------
@@ -331,7 +277,7 @@ BaselineGemvAllReduce::BaselineGemvAllReduce(shmem::World& world,
                                              GemvAllReduceConfig cfg,
                                              GemvAllReduceData* data,
                                              ccl::AllReduceAlgo algo)
-    : world_(world),
+    : FusedOp(world),
       cfg_(cfg),
       data_(data),
       algo_(algo),
@@ -346,8 +292,9 @@ sim::Co BaselineGemvAllReduce::gemv_kernel(PeId pe) {
   const auto shape = cfg_.shape(machine.num_pes());
   gpu::KernelRun::Params p;
   p.name = "gemv_kernel";
-  p.num_slots =
-      gpu::max_active_wgs(machine.device(pe).spec(), baseline_resources());
+  p.num_slots = OccupancyPlan::resolve(machine.device(pe).spec(),
+                                       baseline_resources())
+                    .slots;
   p.order.resize(static_cast<std::size_t>(shape.num_tiles()));
   for (int t = 0; t < shape.num_tiles(); ++t) {
     p.order[static_cast<std::size_t>(t)] = t;
@@ -379,8 +326,7 @@ sim::Co BaselineGemvAllReduce::run() {
   const int pes = machine.num_pes();
   const auto& spec = machine.device(0).spec();
 
-  result_ = OperatorResult{};
-  result_.start = engine.now();
+  begin_run(pes);
   if (cfg_.functional) {
     partial_.assign(static_cast<std::size_t>(pes),
                     std::vector<float>(static_cast<std::size_t>(cfg_.m), 0.0f));
@@ -420,21 +366,38 @@ sim::Co BaselineGemvAllReduce::run() {
     }
   }
 
-  result_.end = engine.now();
-  result_.pe_end.assign(static_cast<std::size_t>(pes), result_.end);
+  finish_run_uniform();
 }
 
-OperatorResult BaselineGemvAllReduce::run_to_completion() {
-  auto& engine = world_.machine().engine();
-  struct Driver {
-    static sim::Task go(sim::Engine&, BaselineGemvAllReduce& op) {
-      co_await op.run();
-    }
-  };
-  Driver::go(engine, *this);
-  engine.run();
-  FCC_CHECK_MSG(engine.live_tasks() == 0, "baseline GEMV+AllReduce deadlocked");
-  return result_;
-}
+// ---------------------------------------------------------------------------
+// Registry entry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const fw::OpRegistrar gemv_allreduce_registrar{{
+    .name = "fcc::gemv_allreduce",
+    .replaces = "aten::mv + c10d::all_reduce",
+    .make =
+        [](shmem::World& world, const fw::OpSpec& spec, fw::Backend backend)
+        -> std::unique_ptr<FusedOp> {
+      const auto& cfg = fw::spec_config<GemvAllReduceConfig>(spec);
+      auto* data = fw::spec_data<GemvAllReduceData>(spec);
+      if (backend == fw::Backend::kFused) {
+        return std::make_unique<FusedGemvAllReduce>(world, cfg, data);
+      }
+      return std::make_unique<BaselineGemvAllReduce>(world, cfg, data);
+    },
+    .smoke_spec =
+        [] {
+          GemvAllReduceConfig cfg;
+          cfg.m = 2048;
+          cfg.k_global = 2048;
+          cfg.functional = false;
+          return fw::make_spec("fcc::gemv_allreduce", cfg);
+        },
+}};
+
+}  // namespace
 
 }  // namespace fcc::fused

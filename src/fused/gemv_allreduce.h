@@ -26,7 +26,7 @@
 #include "ccl/communicator.h"
 #include "common/rng.h"
 #include "common/types.h"
-#include "fused/result.h"
+#include "fused/op_runtime.h"
 #include "gpu/occupancy.h"
 #include "gpu/schedule.h"
 #include "ops/cost_model.h"
@@ -70,14 +70,15 @@ struct GemvAllReduceData {
                                   std::uint64_t seed);
 };
 
-class FusedGemvAllReduce {
+class FusedGemvAllReduce final : public FusedOp {
  public:
   FusedGemvAllReduce(shmem::World& world, GemvAllReduceConfig cfg,
                      GemvAllReduceData* data);
 
-  sim::Co run();
-  OperatorResult run_to_completion();
-  const OperatorResult& result() const { return result_; }
+  const char* name() const override { return "fused_gemv_allreduce"; }
+  gpu::KernelResources resources() const override { return fused_resources(); }
+
+  sim::Co run() override;
 
   /// Owner (reducing PE) of a tile: contiguous 1/N ranges.
   PeId owner_of_tile(int tile) const;
@@ -91,7 +92,6 @@ class FusedGemvAllReduce {
   sim::Co reduce_and_broadcast(PeId pe, int slot);
   std::size_t flag_index(PeId src, int slot) const;
 
-  shmem::World& world_;
   GemvAllReduceConfig cfg_;
   GemvAllReduceData* data_;
   int num_pes_;
@@ -100,38 +100,38 @@ class FusedGemvAllReduce {
   int active_slots_ = 1;
 
   // Runtime state.
-  std::unique_ptr<shmem::FlagArray> arrive_flags_;     // [pe][src*slots+slot]
-  std::unique_ptr<shmem::FlagArray> bcast_flags_;      // [pe][src*slots+slot]
+  FlagSet arrive_flags_;                               // [pe][src*slots+slot]
+  FlagSet bcast_flags_;                                // [pe][src*slots+slot]
   std::vector<std::vector<float>> local_partial_;      // [pe][m] (functional)
   // temp_[owner][src][m]: partials stored by peers into the owner's
   // reduction buffer (functional).
   std::vector<std::vector<std::vector<float>>> temp_;
   std::vector<std::unique_ptr<sim::JoinCounter>> pe_done_;
-  OperatorResult result_;
 };
 
-class BaselineGemvAllReduce {
+class BaselineGemvAllReduce final : public FusedOp {
  public:
   BaselineGemvAllReduce(shmem::World& world, GemvAllReduceConfig cfg,
                         GemvAllReduceData* data,
                         ccl::AllReduceAlgo algo = ccl::AllReduceAlgo::kTwoPhaseDirect);
 
-  sim::Co run();
-  OperatorResult run_to_completion();
-  const OperatorResult& result() const { return result_; }
+  const char* name() const override { return "baseline_gemv_allreduce"; }
+  gpu::KernelResources resources() const override {
+    return baseline_resources();
+  }
+
+  sim::Co run() override;
 
   static gpu::KernelResources baseline_resources();
 
  private:
   sim::Co gemv_kernel(PeId pe);
 
-  shmem::World& world_;
   GemvAllReduceConfig cfg_;
   GemvAllReduceData* data_;
   ccl::AllReduceAlgo algo_;
   ccl::Communicator comm_;
   std::vector<std::vector<float>> partial_;  // [pe][m] (functional)
-  OperatorResult result_;
 };
 
 }  // namespace fcc::fused

@@ -1,0 +1,133 @@
+#include "fused/op_runtime.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fcc::fused {
+
+// ---------------------------------------------------------------------------
+// OccupancyPlan
+// ---------------------------------------------------------------------------
+
+OccupancyPlan OccupancyPlan::resolve(const hw::GpuSpec& spec,
+                                     const gpu::KernelResources& resources,
+                                     const OccupancyOptions& opt) {
+  OccupancyPlan plan;
+  if (opt.override_slots > 0) {
+    plan.slots = opt.override_slots;
+  } else {
+    plan.slots = gpu::max_active_wgs(spec, resources);
+    if (opt.knee_frac > 0.0) {
+      const int knee =
+          static_cast<int>(spec.max_wg_slots() * opt.knee_frac);
+      plan.slots = std::min(plan.slots, knee);
+    }
+  }
+  if (opt.max_tasks > 0) plan.slots = std::min(plan.slots, opt.max_tasks);
+  FCC_CHECK_MSG(plan.slots >= 1,
+                "occupancy plan resolved to " << plan.slots << " slots");
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// FlagSet
+// ---------------------------------------------------------------------------
+
+sim::Co FlagSet::signal(shmem::World& world, PeId src, PeId dst,
+                        std::size_t idx, shmem::World::IssueKind kind) {
+  auto* flags = flags_.get();
+  FCC_DCHECK(flags != nullptr);
+  co_await world.put_nbi(src, dst, kFlagBytes, kind,
+                         [flags, dst, idx] { flags->set(dst, idx, 1); });
+}
+
+sim::Co FlagSet::signal_peers(shmem::World& world, PeId src,
+                              std::size_t idx) {
+  const int pes = flags_->num_pes();
+  for (PeId peer = 0; peer < pes; ++peer) {
+    if (peer == src) continue;
+    co_await signal(world, src, peer, idx);
+  }
+}
+
+sim::Co FlagSet::fence_and_signal_peers(shmem::World& world, PeId src,
+                                        std::size_t idx) {
+  co_await world.fence(src);
+  co_await signal_peers(world, src, idx);
+}
+
+// ---------------------------------------------------------------------------
+// FusedOp driver
+// ---------------------------------------------------------------------------
+
+void FusedOp::begin_run(int num_pes) {
+  result_ = OperatorResult{};
+  result_.start = engine().now();
+  result_.pe_end.assign(static_cast<std::size_t>(num_pes), 0);
+}
+
+void FusedOp::finish_run() { result_.end = engine().now(); }
+
+void FusedOp::finish_run_uniform() {
+  result_.end = engine().now();
+  std::fill(result_.pe_end.begin(), result_.pe_end.end(), result_.end);
+}
+
+OperatorResult FusedOp::run_to_completion() {
+  auto& eng = engine();
+  struct Driver {
+    static sim::Task go(sim::Engine&, FusedOp& op) { co_await op.run(); }
+  };
+  Driver::go(eng, *this);
+  eng.run();
+  FCC_CHECK_MSG(eng.live_tasks() == 0,
+                name() << " deadlocked: " << eng.live_tasks()
+                       << " tasks suspended");
+  return result_;
+}
+
+// ---------------------------------------------------------------------------
+// Free helpers
+// ---------------------------------------------------------------------------
+
+std::vector<PeId> all_pes(gpu::Machine& machine) {
+  std::vector<PeId> v;
+  v.reserve(static_cast<std::size_t>(machine.num_pes()));
+  for (PeId p = 0; p < machine.num_pes(); ++p) v.push_back(p);
+  return v;
+}
+
+std::vector<int> ordered_tasks(int n, gpu::SchedulePolicy policy,
+                               const std::function<bool(int)>& is_remote) {
+  return gpu::make_schedule(n, policy, is_remote);
+}
+
+std::vector<int> ordered_tasks(std::vector<int> tasks,
+                               gpu::SchedulePolicy policy,
+                               const std::function<bool(int)>& is_remote) {
+  if (policy == gpu::SchedulePolicy::kCommAware) {
+    std::stable_partition(tasks.begin(), tasks.end(), is_remote);
+  }
+  return tasks;
+}
+
+std::vector<int> strided_tasks(int first, int total, int stride) {
+  FCC_CHECK(stride >= 1);
+  std::vector<int> v;
+  for (int t = first; t < total; t += stride) v.push_back(t);
+  return v;
+}
+
+sim::Task watch_completion(sim::Engine& engine, gpu::KernelRun& run,
+                           TimeNs& out) {
+  co_await run.wait();
+  out = engine.now();
+}
+
+sim::Task watch_join(sim::Engine& engine, sim::JoinCounter& join,
+                     TimeNs& out) {
+  co_await join.wait();
+  out = engine.now();
+}
+
+}  // namespace fcc::fused

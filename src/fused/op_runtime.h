@@ -1,0 +1,171 @@
+// Shared runtime for fused/baseline operator pairs.
+//
+// The paper's three operators — embedding+All-to-All (Sec. III-A),
+// GEMV+AllReduce and GEMM+All-to-All (Sec. III-B) — are instances of one
+// technique: GPU-initiated intra-kernel communication. This layer holds
+// everything they (and their bulk-synchronous baselines) share so a new
+// fused operator costs ~100 LoC instead of reimplementing the driver:
+//
+//   * FusedOp        — the operator interface plus the single engine
+//                      spawn/drain driver (`run_to_completion()`).
+//   * OccupancyPlan  — slot-count resolution from KernelResources, an
+//                      explicit override, the HBM-contention knee (Fig. 13),
+//                      and the task count.
+//   * FlagSet        — shmem::FlagArray lifecycle plus the recurring
+//                      "remote 8-byte PUT that sets a readiness flag"
+//                      signalling idioms (sliceRdy / per-slot peer flags).
+//   * ordered_tasks / strided_tasks — comm-aware vs oblivious task-loop
+//                      ordering over gpu::SchedulePolicy.
+//   * watch_completion / watch_join — per-PE completion-time recorders.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "fused/result.h"
+#include "gpu/machine.h"
+#include "gpu/occupancy.h"
+#include "gpu/persistent.h"
+#include "gpu/schedule.h"
+#include "shmem/flags.h"
+#include "shmem/world.h"
+#include "sim/co.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace fcc::fused {
+
+/// Knobs for OccupancyPlan::resolve (own type so designated initializers
+/// read at call sites).
+struct OccupancyOptions {
+  /// >0 forces the slot count (the occupancy ablation, Fig. 13).
+  int override_slots = 0;
+  /// >0 caps derived slots at `max_wg_slots * knee_frac`: memory-bound
+  /// kernels degrade past the bandwidth knee, so the persistent grid is
+  /// tuned to it. Ignored when override_slots wins.
+  double knee_frac = 0.0;
+  /// >0 caps the final slot count at the task count (applies to the
+  /// override too — a grid larger than the work is never spawned).
+  int max_tasks = 0;
+};
+
+/// Resolved persistent-grid size for one kernel launch. All operators use
+/// the same precedence: explicit override > occupancy limit (optionally
+/// capped at the HBM-contention knee), never more slots than tasks.
+struct OccupancyPlan {
+  int slots = 1;
+
+  static OccupancyPlan resolve(const hw::GpuSpec& spec,
+                               const gpu::KernelResources& resources,
+                               const OccupancyOptions& opt = {});
+};
+
+/// Owning wrapper for a shmem::FlagArray with the per-run lifecycle
+/// (allocate-on-run, drop at destruction) and the shared remote-signalling
+/// idioms every fused operator repeats.
+class FlagSet {
+ public:
+  /// Modeled size of one flag PUT on the wire.
+  static constexpr Bytes kFlagBytes = 8;
+
+  /// (Re)allocates flags[num_pes][n], all zero, dropping any previous run's
+  /// array and its waiters.
+  void reset(sim::Engine& engine, int num_pes, std::size_t n) {
+    flags_ = std::make_unique<shmem::FlagArray>(engine, num_pes, n);
+  }
+  void release() { flags_.reset(); }
+
+  shmem::FlagArray* get() const { return flags_.get(); }
+  shmem::FlagArray* operator->() const { return flags_.get(); }
+  explicit operator bool() const { return flags_ != nullptr; }
+
+  /// Remote PUT from `src` that sets flag[dst][idx] = 1 on delivery (the
+  /// sliceRdy idiom: data PUTs order ahead on the FIFO channel).
+  sim::Co signal(shmem::World& world, PeId src, PeId dst, std::size_t idx,
+                 shmem::World::IssueKind kind = shmem::World::IssueKind::kStore);
+
+  /// signal() to every PE except `src` at the same index (the per-slot peer
+  /// flag idiom of the direct AllReduce).
+  sim::Co signal_peers(shmem::World& world, PeId src, std::size_t idx);
+
+  /// fence(src) first so all prior data PUTs order ahead of the flags.
+  sim::Co fence_and_signal_peers(shmem::World& world, PeId src,
+                                 std::size_t idx);
+
+ private:
+  std::unique_ptr<shmem::FlagArray> flags_;
+};
+
+/// Abstract fused/baseline operator. Concrete operators implement `run()`
+/// (one full execution that fills `result()`, awaitable from a host driver
+/// coroutine) and describe themselves via `name()` / `resources()`; the
+/// spawn/drain driver and result bookkeeping live here, once.
+class FusedOp {
+ public:
+  explicit FusedOp(shmem::World& world) : world_(world) {}
+  virtual ~FusedOp() = default;
+  FusedOp(const FusedOp&) = delete;
+  FusedOp& operator=(const FusedOp&) = delete;
+
+  /// Operator + backend-variant name, e.g. "fused_embedding_a2a".
+  virtual const char* name() const = 0;
+
+  /// Kernel resources of the operator's main kernel (occupancy studies).
+  virtual gpu::KernelResources resources() const = 0;
+
+  /// One full execution; fills `result()`.
+  virtual sim::Co run() = 0;
+
+  /// Spawns `run()` as an engine task and drains the engine — the single
+  /// driver behind every operator (benches running one op at a time).
+  /// Throws if the simulation deadlocks (tasks still suspended).
+  OperatorResult run_to_completion();
+
+  const OperatorResult& result() const { return result_; }
+  shmem::World& world() { return world_; }
+
+ protected:
+  sim::Engine& engine() { return world_.machine().engine(); }
+
+  /// Resets `result_`, stamps the start time, and zeroes `pe_end` for
+  /// `num_pes` PEs. Call at the top of run().
+  void begin_run(int num_pes);
+
+  /// Stamps the end time (pe_end already recorded, e.g. by watchers).
+  void finish_run();
+
+  /// Stamps the end time and sets every pe_end to it (bulk-synchronous
+  /// baselines: all PEs complete at the collective's sync).
+  void finish_run_uniform();
+
+  shmem::World& world_;
+  OperatorResult result_;
+};
+
+/// Every PE of the machine, in id order (ccl communicator construction).
+std::vector<PeId> all_pes(gpu::Machine& machine);
+
+/// Comm-aware/oblivious ordering over the logical-WG range [0, n):
+/// comm-aware runs remote-output producers first (stable within classes).
+std::vector<int> ordered_tasks(int n, gpu::SchedulePolicy policy,
+                               const std::function<bool(int)>& is_remote);
+
+/// Same policy applied to an explicit task list (per-slot static
+/// assignment: the caller already picked which tasks are its own).
+std::vector<int> ordered_tasks(std::vector<int> tasks,
+                               gpu::SchedulePolicy policy,
+                               const std::function<bool(int)>& is_remote);
+
+/// Tasks statically assigned to one slot: first, first+stride, ... < total.
+std::vector<int> strided_tasks(int first, int total, int stride);
+
+/// Records the engine time at which `run` completes into `out`.
+sim::Task watch_completion(sim::Engine& engine, gpu::KernelRun& run,
+                           TimeNs& out);
+
+/// Records the engine time at which `join` completes into `out`.
+sim::Task watch_join(sim::Engine& engine, sim::JoinCounter& join, TimeNs& out);
+
+}  // namespace fcc::fused

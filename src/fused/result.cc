@@ -1,0 +1,15 @@
+#include "fused/result.h"
+
+#include <algorithm>
+
+namespace fcc::fused {
+
+double OperatorResult::skew() const {
+  if (pe_end.empty() || duration() == 0) return 0.0;
+  const TimeNs hi = *std::max_element(pe_end.begin(), pe_end.end());
+  const TimeNs lo = *std::min_element(pe_end.begin(), pe_end.end());
+  if (hi <= start) return 0.0;
+  return static_cast<double>(hi - lo) / static_cast<double>(hi - start);
+}
+
+}  // namespace fcc::fused

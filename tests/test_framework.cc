@@ -1,20 +1,16 @@
-// Framework layer: Session dispatch, symmetric allocation, op registry.
+// Framework layer: generic Session dispatch, symmetric allocation, and the
+// OpRegistry unit behavior (registration rules on a local registry).
 #include <gtest/gtest.h>
 
 #include "framework/session.h"
+#include "fused/embedding_a2a.h"
+#include "fused/gemv_allreduce.h"
 
 namespace fcc::fw {
 namespace {
 
-gpu::Machine::Config four_gpus() {
-  gpu::Machine::Config c;
-  c.num_nodes = 1;
-  c.gpus_per_node = 4;
-  return c;
-}
-
 TEST(Session, SymmetricEmptyAllocatesPerPe) {
-  Session s(four_gpus());
+  Session s(smoke_machine_config());
   auto buf = s.symmetric_empty(128);
   EXPECT_EQ(buf->num_pes(), 4);
   EXPECT_EQ(buf->size(), 128u);
@@ -22,16 +18,17 @@ TEST(Session, SymmetricEmptyAllocatesPerPe) {
   EXPECT_EQ(buf->pe(0)[0], 0.0f);
 }
 
-TEST(Session, GemvOpDispatchesBothBackends) {
+TEST(Session, GenericRunDispatchesBothBackends) {
   fused::GemvAllReduceConfig cfg;
   cfg.m = 4096;
   cfg.k_global = 4096;
   cfg.functional = false;
+  const auto spec = make_spec("fcc::gemv_allreduce", cfg);
 
-  Session sf(four_gpus());
-  const auto rf = sf.gemv_all_reduce(cfg, nullptr, Backend::kFused);
-  Session sb(four_gpus());
-  const auto rb = sb.gemv_all_reduce(cfg, nullptr, Backend::kBaseline);
+  Session sf(smoke_machine_config());
+  const auto rf = sf.run(spec, Backend::kFused);
+  Session sb(smoke_machine_config());
+  const auto rb = sb.run(spec, Backend::kBaseline);
   EXPECT_GT(rf.duration(), 0);
   EXPECT_GT(rb.duration(), 0);
   EXPECT_LT(rf.duration(), rb.duration());
@@ -46,48 +43,96 @@ TEST(Session, EmbeddingOpDispatches) {
   cfg.map.vectors_per_slice = 8;
   cfg.functional = false;
 
-  Session s(four_gpus());
-  const auto r = s.embedding_all_to_all(cfg, nullptr, Backend::kFused);
+  Session s(smoke_machine_config());
+  const auto r = s.run(make_spec("fcc::embedding_a2a", cfg), Backend::kFused);
   EXPECT_GT(r.duration(), 0);
 }
 
-TEST(Registry, RegistersAndRuns) {
+TEST(Registry, RegistersAndRunsOnLocalRegistry) {
   OpRegistry reg;
+  reg.register_op(
+      {.name = "local::gemv",
+       .replaces = "aten::mv + c10d::all_reduce",
+       .make = [](shmem::World& world, const OpSpec& spec, Backend backend)
+           -> std::unique_ptr<fused::FusedOp> {
+         const auto& cfg = spec_config<fused::GemvAllReduceConfig>(spec);
+         if (backend == Backend::kFused) {
+           return std::make_unique<fused::FusedGemvAllReduce>(world, cfg,
+                                                              nullptr);
+         }
+         return std::make_unique<fused::BaselineGemvAllReduce>(world, cfg,
+                                                               nullptr);
+       }});
+  EXPECT_TRUE(reg.contains("local::gemv"));
+  EXPECT_FALSE(reg.contains("nope"));
+  EXPECT_EQ(reg.names().size(), 1u);
+  EXPECT_EQ(reg.at("local::gemv").replaces, "aten::mv + c10d::all_reduce");
+
   fused::GemvAllReduceConfig cfg;
   cfg.m = 2048;
   cfg.k_global = 2048;
   cfg.functional = false;
-  reg.register_op({.name = "fcc::gemv_all_reduce",
-                   .replaces = "aten::mv + c10d::all_reduce",
-                   .invoke = [cfg](Session& s, Backend b) {
-                     return s.gemv_all_reduce(cfg, nullptr, b);
-                   }});
-  EXPECT_TRUE(reg.contains("fcc::gemv_all_reduce"));
-  EXPECT_FALSE(reg.contains("nope"));
-  EXPECT_EQ(reg.names().size(), 1u);
-  EXPECT_EQ(reg.at("fcc::gemv_all_reduce").replaces,
-            "aten::mv + c10d::all_reduce");
 
-  Session s(four_gpus());
-  const auto r = reg.run("fcc::gemv_all_reduce", s, Backend::kFused);
+  // Dispatch through Session::run against the local registry.
+  Session s(smoke_machine_config());
+  const auto r = s.run(make_spec("local::gemv", cfg), Backend::kFused, reg);
   EXPECT_GT(r.duration(), 0);
 }
 
 TEST(Registry, RejectsDuplicatesAndUnknown) {
   OpRegistry reg;
-  reg.register_op({.name = "x",
-                   .replaces = "",
-                   .invoke = [](Session&, Backend) {
-                     return fused::OperatorResult{};
-                   }});
-  EXPECT_THROW(reg.register_op({.name = "x",
+  const auto null_factory = [](shmem::World&, const OpSpec&,
+                               Backend) -> std::unique_ptr<fused::FusedOp> {
+    return nullptr;
+  };
+  reg.register_op({.name = "x", .replaces = "", .make = null_factory});
+  EXPECT_THROW(
+      reg.register_op({.name = "x", .replaces = "", .make = null_factory}),
+      std::logic_error);
+
+  Session s(smoke_machine_config());
+  EXPECT_THROW(s.run(make_spec("unknown", 0), Backend::kFused, reg),
+               std::logic_error);
+}
+
+TEST(Registry, RejectsMissingNameOrFactory) {
+  OpRegistry reg;
+  EXPECT_THROW(reg.register_op({.name = "",
                                 .replaces = "",
-                                .invoke = [](Session&, Backend) {
-                                  return fused::OperatorResult{};
+                                .make = [](shmem::World&, const OpSpec&,
+                                           Backend)
+                                    -> std::unique_ptr<fused::FusedOp> {
+                                  return nullptr;
                                 }}),
                std::logic_error);
-  Session s(four_gpus());
-  EXPECT_THROW(reg.run("unknown", s, Backend::kFused), std::logic_error);
+  EXPECT_THROW(reg.register_op({.name = "no_factory",
+                                .replaces = "",
+                                .make = nullptr,
+                                .smoke_spec = nullptr}),
+               std::logic_error);
+}
+
+TEST(Registry, WrongConfigTypeThrowsBadAnyCast) {
+  fused::GemvAllReduceConfig cfg;
+  cfg.functional = false;
+  // embedding_a2a's factory will any_cast the config to EmbeddingA2AConfig.
+  Session s(smoke_machine_config());
+  EXPECT_THROW(s.run(make_spec("fcc::embedding_a2a", cfg), Backend::kFused),
+               std::bad_any_cast);
+}
+
+TEST(Registry, WrongDataTypeThrowsBadAnyCast) {
+  fused::GemvAllReduceConfig cfg;
+  cfg.m = 2048;
+  cfg.k_global = 2048;
+  cfg.functional = false;
+  int not_gemv_data = 0;
+  // gemv_allreduce's factory will any_cast the data to GemvAllReduceData*.
+  Session s(smoke_machine_config());
+  EXPECT_THROW(
+      s.run(make_spec("fcc::gemv_allreduce", cfg, &not_gemv_data),
+            Backend::kFused),
+      std::bad_any_cast);
 }
 
 }  // namespace

@@ -1,0 +1,204 @@
+// Shared fused-operator runtime: OccupancyPlan resolution, FlagSet
+// lifecycle + signalling, task ordering, the FusedOp spawn/drain driver,
+// and OperatorResult::skew() edge cases.
+#include <gtest/gtest.h>
+
+#include "fused/op_runtime.h"
+#include "gpu/machine.h"
+
+namespace fcc::fused {
+namespace {
+
+hw::GpuSpec spec_with(int num_cus, int max_wgs_per_cu, int vgprs_per_cu) {
+  hw::GpuSpec s;
+  s.num_cus = num_cus;
+  s.max_wgs_per_cu = max_wgs_per_cu;
+  s.vgprs_per_cu = vgprs_per_cu;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// OccupancyPlan
+// ---------------------------------------------------------------------------
+
+TEST(OccupancyPlan, DerivesFromKernelResources) {
+  // 262144 VGPRs / (128 * 256) = 8 WGs/CU; hardware limit also 8.
+  const auto spec = spec_with(104, 8, 262144);
+  gpu::KernelResources r;
+  r.threads_per_wg = 256;
+  r.vgprs_per_thread = 128;
+  EXPECT_EQ(OccupancyPlan::resolve(spec, r).slots, 104 * 8);
+}
+
+TEST(OccupancyPlan, ShmemContextLowersOccupancy) {
+  // 262144 / (144 * 256) = 7 WGs/CU — the paper's 12.5% occupancy loss.
+  const auto spec = spec_with(104, 8, 262144);
+  gpu::KernelResources r;
+  r.threads_per_wg = 256;
+  r.vgprs_per_thread = 128 + gpu::kShmemCtxVgprsPerThread;
+  EXPECT_EQ(OccupancyPlan::resolve(spec, r).slots, 104 * 7);
+}
+
+TEST(OccupancyPlan, OverrideWinsOverDerivation) {
+  const auto spec = spec_with(104, 8, 262144);
+  gpu::KernelResources r;
+  EXPECT_EQ(OccupancyPlan::resolve(spec, r, {.override_slots = 13}).slots, 13);
+}
+
+TEST(OccupancyPlan, KneeCapsDerivedSlots) {
+  // Occupancy limit 832, knee at 75% of 832 = 624.
+  const auto spec = spec_with(104, 8, 262144);
+  gpu::KernelResources r;
+  EXPECT_EQ(OccupancyPlan::resolve(spec, r, {.knee_frac = 0.75}).slots, 624);
+  // Override skips the knee (the Fig. 13 ablation sweeps past it).
+  EXPECT_EQ(OccupancyPlan::resolve(spec, r,
+                                   {.override_slots = 800, .knee_frac = 0.75})
+                .slots,
+            800);
+}
+
+TEST(OccupancyPlan, TaskCountCapsEverything) {
+  const auto spec = spec_with(104, 8, 262144);
+  gpu::KernelResources r;
+  EXPECT_EQ(OccupancyPlan::resolve(spec, r, {.max_tasks = 5}).slots, 5);
+  EXPECT_EQ(
+      OccupancyPlan::resolve(spec, r, {.override_slots = 64, .max_tasks = 5})
+          .slots,
+      5);
+}
+
+// ---------------------------------------------------------------------------
+// Task ordering
+// ---------------------------------------------------------------------------
+
+TEST(TaskOrdering, StridedTasksAssignSlotsStatically) {
+  EXPECT_EQ(strided_tasks(0, 7, 3), (std::vector<int>{0, 3, 6}));
+  EXPECT_EQ(strided_tasks(2, 7, 3), (std::vector<int>{2, 5}));
+  EXPECT_EQ(strided_tasks(5, 3, 1), (std::vector<int>{}));
+}
+
+TEST(TaskOrdering, CommAwarePutsRemoteTasksFirstStably) {
+  const auto is_remote = [](int t) { return t % 2 == 0; };
+  EXPECT_EQ(ordered_tasks({0, 1, 2, 3, 4}, gpu::SchedulePolicy::kCommAware,
+                          is_remote),
+            (std::vector<int>{0, 2, 4, 1, 3}));
+  EXPECT_EQ(ordered_tasks({0, 1, 2, 3, 4}, gpu::SchedulePolicy::kOblivious,
+                          is_remote),
+            (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TaskOrdering, RangeOverloadMatchesMakeSchedule) {
+  const auto is_remote = [](int t) { return t >= 3; };
+  EXPECT_EQ(ordered_tasks(5, gpu::SchedulePolicy::kCommAware, is_remote),
+            (std::vector<int>{3, 4, 0, 1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// FlagSet
+// ---------------------------------------------------------------------------
+
+TEST(FlagSet, LifecycleAndLocalSet) {
+  sim::Engine engine;
+  FlagSet flags;
+  EXPECT_FALSE(static_cast<bool>(flags));
+  flags.reset(engine, 2, 4);
+  ASSERT_TRUE(static_cast<bool>(flags));
+  EXPECT_EQ(flags->num_pes(), 2);
+  EXPECT_EQ(flags->size(), 4u);
+  flags->set(1, 3, 7);
+  EXPECT_EQ(flags->read(1, 3), 7u);
+  flags.reset(engine, 2, 4);  // rebuild drops prior values
+  EXPECT_EQ(flags->read(1, 3), 0u);
+}
+
+TEST(FlagSet, SignalDeliversRemoteFlagStores) {
+  gpu::Machine::Config cfg;
+  cfg.num_nodes = 1;
+  cfg.gpus_per_node = 4;
+  gpu::Machine machine(cfg);
+  shmem::World world(machine);
+  auto& engine = machine.engine();
+
+  FlagSet flags;
+  flags.reset(engine, 4, 2);
+  struct Driver {
+    static sim::Task go(sim::Engine&, shmem::World& world, FlagSet& flags) {
+      co_await flags.fence_and_signal_peers(world, /*src=*/0, /*idx=*/1);
+    }
+  };
+  Driver::go(engine, world, flags);
+  engine.run();
+  ASSERT_EQ(engine.live_tasks(), 0);
+  EXPECT_EQ(flags->read(0, 1), 0u);  // src does not signal itself
+  for (PeId peer = 1; peer < 4; ++peer) {
+    EXPECT_EQ(flags->read(peer, 1), 1u) << "peer " << peer;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FusedOp driver
+// ---------------------------------------------------------------------------
+
+class DelayOp final : public FusedOp {
+ public:
+  DelayOp(shmem::World& world, TimeNs cost) : FusedOp(world), cost_(cost) {}
+  const char* name() const override { return "delay_op"; }
+  gpu::KernelResources resources() const override { return {}; }
+  sim::Co run() override {
+    begin_run(world_.n_pes());
+    co_await sim::delay(engine(), cost_);
+    finish_run_uniform();
+  }
+
+ private:
+  TimeNs cost_;
+};
+
+TEST(FusedOpDriver, RunToCompletionDrivesAndFillsResult) {
+  gpu::Machine::Config cfg;
+  cfg.num_nodes = 1;
+  cfg.gpus_per_node = 2;
+  gpu::Machine machine(cfg);
+  shmem::World world(machine);
+
+  DelayOp op(world, 1234);
+  const auto res = op.run_to_completion();
+  EXPECT_EQ(res.duration(), 1234);
+  EXPECT_EQ(res.pe_end.size(), 2u);
+  EXPECT_EQ(res.pe_end[0], res.end);
+  EXPECT_EQ(op.result().end, res.end);
+
+  // Re-running continues from the engine's current time.
+  const auto res2 = op.run_to_completion();
+  EXPECT_EQ(res2.start, res.end);
+  EXPECT_EQ(res2.duration(), 1234);
+}
+
+// ---------------------------------------------------------------------------
+// OperatorResult::skew
+// ---------------------------------------------------------------------------
+
+TEST(OperatorResult, SkewIsZeroOnDegenerateSpans) {
+  OperatorResult r;
+  EXPECT_DOUBLE_EQ(r.skew(), 0.0);  // empty pe_end, zero duration
+
+  r.start = 100;
+  r.end = 100;  // zero duration with non-empty pe_end
+  r.pe_end = {100, 100};
+  EXPECT_DOUBLE_EQ(r.skew(), 0.0);
+
+  r.end = 200;
+  r.pe_end = {50, 90};  // all completions at/before start
+  EXPECT_DOUBLE_EQ(r.skew(), 0.0);
+}
+
+TEST(OperatorResult, SkewMeasuresRelativeSpread) {
+  OperatorResult r;
+  r.start = 0;
+  r.end = 100;
+  r.pe_end = {60, 100};
+  EXPECT_DOUBLE_EQ(r.skew(), 0.4);
+}
+
+}  // namespace
+}  // namespace fcc::fused

@@ -64,9 +64,22 @@ class Communicator {
   sim::Co broadcast(std::int64_t n_elems, int root, FloatBufs bufs);
 
   /// Variable All-to-All (MoE dispatch with uneven routing): rank s sends
-  /// counts[s][d] fp32 to rank d. Send layout: destination-major segments
-  /// in counts order; recv layout: source-major segments. `counts` is
-  /// indexed [src * n + dst].
+  /// counts[s * n + d] fp32 elements to rank d — the traffic matrix is
+  /// data-dependent and need not be symmetric.
+  ///
+  /// Variable-chunk layout (all offsets in elements, no alignment padding):
+  ///  * send side, destination-major: rank s's buffer holds its segments in
+  ///    destination order, segment d at offset sum(counts[s*n + d'<d]) with
+  ///    counts[s*n + d] elements.
+  ///  * recv side, source-major: rank d's buffer receives segment s at
+  ///    offset sum(counts[s'<s, d]); buffers may be exactly the sum of
+  ///    incoming counts (they are only checked to cover offset + count).
+  ///
+  /// Empty segments (count == 0) are legal anywhere, including a whole row
+  /// or column of the matrix: they occupy zero elements on both sides, move
+  /// no bytes, and add nothing to the modeled time — but every call still
+  /// pays kSwOverheadNs once. The s == d diagonal is charged as a local HBM
+  /// copy, not fabric traffic.
   sim::Co all_to_all_v(const std::vector<std::int64_t>& counts,
                        FloatBufs send, FloatBufs recv);
 

@@ -107,24 +107,12 @@ sim::Co FusedGemmAllToAll::run() {
   begin_run(num_pes_);
 
   co_await sim::delay(engine, spec.kernel_launch_ns);
-
-  sim::JoinCounter done(engine, num_pes_);
-  struct PeRunner {
-    static sim::Task go(sim::Engine& e, FusedGemmAllToAll& op, PeId pe,
-                        sim::JoinCounter& done) {
-      co_await op.pe_driver(pe, done);
-      (void)e;
-    }
-  };
-  for (PeId pe = 0; pe < num_pes_; ++pe) {
-    PeRunner::go(engine, *this, pe, done);
-  }
-  co_await done.wait();
+  co_await run_per_pe(num_pes_, [this](PeId pe) { return pe_driver(pe); });
   co_await sim::delay(engine, spec.stream_sync_ns);
   finish_run();
 }
 
-sim::Co FusedGemmAllToAll::pe_driver(PeId pe, sim::JoinCounter& done) {
+sim::Co FusedGemmAllToAll::pe_driver(PeId pe) {
   auto& engine = world_.machine().engine();
   // Expected tiles per source expert: my row block's tile count.
   const std::uint64_t expected =
@@ -143,17 +131,19 @@ sim::Co FusedGemmAllToAll::pe_driver(PeId pe, sim::JoinCounter& done) {
   }
   auto* arrivals = arrivals_.get();
   const int pes = num_pes_;
-  // Distinct flag subsets: the first `pes` slots each poll one source
-  // expert's arrival counter; the rest exit after their task loop.
-  lc.epilogue = [arrivals, pe, pes, expected](int slot) -> sim::Co {
-    if (slot < pes) {
-      co_await arrivals->wait_ge(pe, static_cast<std::size_t>(slot), expected);
+  // Distinct flag subsets, strided over the slots the launch actually
+  // spawns (surplus slots retire without running their epilogue, so a grid
+  // smaller than num_pes must not orphan a source's counter): slot s polls
+  // sources s, s+active, ...
+  lc.epilogue = [arrivals, pe, pes, expected](int slot,
+                                              int active) -> sim::Co {
+    for (int src = slot; src < pes; src += active) {
+      co_await arrivals->wait_ge(pe, static_cast<std::size_t>(src), expected);
     }
   };
 
   co_await kernel_->launch(lc);
   result_.pe_end[static_cast<std::size_t>(pe)] = engine.now();
-  done.arrive();
 }
 
 // ---------------------------------------------------------------------------
@@ -188,53 +178,7 @@ sim::Co BaselineGemmAllToAll::run() {
   }
 
   // Compute phase: plain tile-DSL GEMM per PE (load, dot, local store).
-  {
-    sim::JoinCounter done(engine, pes);
-    struct PeRunner {
-      static sim::Task go(sim::Engine& e, BaselineGemmAllToAll& op, PeId pe,
-                          sim::JoinCounter& done) {
-        const auto shape = op.cfg_.shape(op.world_.machine().num_pes());
-        triton::TileKernel kernel("moe_gemm_baseline", shape,
-                                  op.cfg_.alu_efficiency);
-        auto write_local = [&op, pe, shape](
-                               const triton::TileKernel::Ctx& ctx,
-                               const std::vector<float>& tile) {
-          auto& c = op.c_[static_cast<std::size_t>(pe)];
-          const auto& sh = *ctx.shape;
-          const int cols = sh.col_end(ctx.pid) - sh.col_begin(ctx.pid);
-          for (int r = sh.row_begin(ctx.pid); r < sh.row_end(ctx.pid); ++r) {
-            for (int j = 0; j < cols; ++j) {
-              c[static_cast<std::size_t>(r) * shape.n +
-                static_cast<std::size_t>(sh.col_begin(ctx.pid) + j)] =
-                  tile[static_cast<std::size_t>(r - sh.row_begin(ctx.pid)) *
-                           cols +
-                       static_cast<std::size_t>(j)];
-            }
-          }
-        };
-        kernel.load_a().load_b().dot();
-        kernel.store_c_local(op.cfg_.functional
-                                 ? triton::TileKernel::WriteFn(write_local)
-                                 : triton::TileKernel::WriteFn{});
-
-        triton::TileKernel::LaunchConfig lc;
-        lc.world = &op.world_;
-        lc.pe = pe;
-        lc.policy = gpu::SchedulePolicy::kOblivious;
-        lc.functional = op.cfg_.functional;
-        if (op.cfg_.functional) {
-          lc.a = op.data_->a[static_cast<std::size_t>(pe)];
-          lc.b = op.data_->b[static_cast<std::size_t>(pe)];
-        }
-        co_await sim::delay(e, op.world_.machine().device(pe).spec()
-                                   .kernel_launch_ns);
-        co_await kernel.launch(lc);
-        done.arrive();
-      }
-    };
-    for (PeId pe = 0; pe < pes; ++pe) PeRunner::go(engine, *this, pe, done);
-    co_await done.wait();
-  }
+  co_await run_per_pe(pes, [this](PeId pe) { return gemm_pe(pe); });
   co_await sim::delay(engine, spec.stream_sync_ns);
 
   // Collective phase: chunk d of PE e's C (rows [d*R, (d+1)*R)) goes to
@@ -253,6 +197,42 @@ sim::Co BaselineGemmAllToAll::run() {
   co_await sim::delay(engine, spec.stream_sync_ns);
 
   finish_run_uniform();
+}
+
+sim::Co BaselineGemmAllToAll::gemm_pe(PeId pe) {
+  const auto shape = cfg_.shape(world_.machine().num_pes());
+  triton::TileKernel kernel("moe_gemm_baseline", shape, cfg_.alu_efficiency);
+  auto write_local = [this, pe, shape](const triton::TileKernel::Ctx& ctx,
+                                       const std::vector<float>& tile) {
+    auto& c = c_[static_cast<std::size_t>(pe)];
+    const auto& sh = *ctx.shape;
+    const int cols = sh.col_end(ctx.pid) - sh.col_begin(ctx.pid);
+    for (int r = sh.row_begin(ctx.pid); r < sh.row_end(ctx.pid); ++r) {
+      for (int j = 0; j < cols; ++j) {
+        c[static_cast<std::size_t>(r) * shape.n +
+          static_cast<std::size_t>(sh.col_begin(ctx.pid) + j)] =
+            tile[static_cast<std::size_t>(r - sh.row_begin(ctx.pid)) * cols +
+                 static_cast<std::size_t>(j)];
+      }
+    }
+  };
+  kernel.load_a().load_b().dot();
+  kernel.store_c_local(cfg_.functional
+                           ? triton::TileKernel::WriteFn(write_local)
+                           : triton::TileKernel::WriteFn{});
+
+  triton::TileKernel::LaunchConfig lc;
+  lc.world = &world_;
+  lc.pe = pe;
+  lc.policy = gpu::SchedulePolicy::kOblivious;
+  lc.functional = cfg_.functional;
+  if (cfg_.functional) {
+    lc.a = data_->a[static_cast<std::size_t>(pe)];
+    lc.b = data_->b[static_cast<std::size_t>(pe)];
+  }
+  co_await sim::delay(engine(),
+                      world_.machine().device(pe).spec().kernel_launch_ns);
+  co_await kernel.launch(lc);
 }
 
 // ---------------------------------------------------------------------------

@@ -78,7 +78,7 @@ class FusedGemmAllToAll final : public FusedOp {
   static gpu::KernelResources fused_resources();
 
  private:
-  sim::Co pe_driver(PeId pe, sim::JoinCounter& done);
+  sim::Co pe_driver(PeId pe);
 
   GemmA2AConfig cfg_;
   GemmA2AData* data_;
@@ -101,6 +101,8 @@ class BaselineGemmAllToAll final : public FusedOp {
   sim::Co run() override;
 
  private:
+  sim::Co gemm_pe(PeId pe);
+
   GemmA2AConfig cfg_;
   GemmA2AData* data_;
   ccl::Communicator comm_;

@@ -73,6 +73,22 @@ void FusedOp::finish_run_uniform() {
   std::fill(result_.pe_end.begin(), result_.pe_end.end(), result_.end);
 }
 
+namespace {
+
+sim::Task pe_task(sim::Engine&, std::function<sim::Co(PeId)> body, PeId pe,
+                  sim::JoinCounter& done) {
+  co_await body(pe);
+  done.arrive();
+}
+
+}  // namespace
+
+sim::Co FusedOp::run_per_pe(int num_pes, std::function<sim::Co(PeId)> body) {
+  sim::JoinCounter done(engine(), num_pes);
+  for (PeId pe = 0; pe < num_pes; ++pe) pe_task(engine(), body, pe, done);
+  co_await done.wait();
+}
+
 OperatorResult FusedOp::run_to_completion() {
   auto& eng = engine();
   struct Driver {

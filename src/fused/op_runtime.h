@@ -140,6 +140,12 @@ class FusedOp {
   /// baselines: all PEs complete at the collective's sync).
   void finish_run_uniform();
 
+  /// Spawns `body(pe)` for every PE in [0, num_pes) as engine tasks and
+  /// suspends until all complete — the per-PE spawn/drain scaffold every
+  /// operator's compute phase repeats. Per-PE completion stamps (pe_end)
+  /// belong inside `body`.
+  sim::Co run_per_pe(int num_pes, std::function<sim::Co(PeId)> body);
+
   shmem::World& world_;
   OperatorResult result_;
 };

@@ -55,12 +55,20 @@ class KernelRun {
   KernelRun(const KernelRun&) = delete;
   KernelRun& operator=(const KernelRun&) = delete;
 
+  /// Slots start() will actually spawn for `num_slots` configured slots and
+  /// `work` queued logical WGs — surplus slots retire immediately (their
+  /// epilogue never runs). Exposed so launch wrappers can hand the real
+  /// count to epilogues that stride flag subsets across slots.
+  static int active_slot_count(int num_slots, int work) {
+    return std::min(num_slots, std::max(work, 1));
+  }
+
   /// Spawns the slot processes. Call exactly once.
   void start() {
     FCC_CHECK_MSG(!started_, "kernel started twice");
     started_ = true;
     const int work = static_cast<int>(params_.order.size());
-    const int slots = std::min(params_.num_slots, std::max(work, 1));
+    const int slots = active_slot_count(params_.num_slots, work);
     active_slots_ = slots;
     // JoinCounter was sized for num_slots; retire unused slots immediately.
     for (int s = slots; s < params_.num_slots; ++s) done_.arrive();

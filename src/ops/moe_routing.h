@@ -1,9 +1,12 @@
 // MoE gating and token routing (the "G" box of the paper's Fig. 4).
 //
 // Tokens are routed to the top-k experts of a learned linear gate; the
-// resulting per-(source, expert) counts drive the dispatch All-to-All
-// (ccl::Communicator::all_to_all_v) and, under the paper's equal-load
-// assumption, the uniform combine that fused::FusedGemmAllToAll ships.
+// resulting per-(source, expert) counts drive the dispatch All-to-All —
+// bulk-synchronous via ccl::Communicator::all_to_all_v (see its header
+// comment for the variable-chunk send/recv layout and empty-segment
+// rules), or overlapped with the producer GEMM by fused::FusedMoeDispatch.
+// Under the paper's equal-load assumption the combine side collapses to
+// the uniform All-to-All that fused::FusedGemmAllToAll ships.
 #pragma once
 
 #include <cstdint>

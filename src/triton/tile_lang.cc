@@ -115,7 +115,13 @@ sim::Co TileKernel::launch(const LaunchConfig& cfg) {
   p.order = gpu::make_schedule(shape_.num_tiles(), cfg.policy, is_remote);
   p.wg_dispatch_overhead_ns = cfg.dispatch_overhead_ns;
   p.body = [this, &cfg](int slot, int pid) { return run_pid(cfg, slot, pid); };
-  if (cfg.epilogue) p.epilogue = cfg.epilogue;
+  if (cfg.epilogue) {
+    const int active =
+        gpu::KernelRun::active_slot_count(p.num_slots, shape_.num_tiles());
+    p.epilogue = [cb = cfg.epilogue, active](int slot) {
+      return cb(slot, active);
+    };
+  }
 
   gpu::KernelRun run(machine.engine(), std::move(p));
   run.start();

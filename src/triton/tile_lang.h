@@ -93,7 +93,10 @@ class TileKernel {
     std::span<const float> a;  // bound A (m x k), functional only
     std::span<const float> b;  // bound B (k x n), functional only
     /// Optional per-slot epilogue (flag polling) appended by the caller.
-    std::function<sim::Co(int slot)> epilogue;
+    /// `active_slots` is the spawned-slot count (surplus slots never run an
+    /// epilogue), so callers can stride flag subsets as slot, slot+active...
+    /// without re-deriving the launch's occupancy math.
+    std::function<sim::Co(int slot, int active_slots)> epilogue;
   };
 
   /// Launches the grid (one pid per output tile) and completes when every

@@ -2,7 +2,10 @@
 // All-to-All that ships them (paper Fig. 4 dispatch path).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numeric>
+#include <span>
+#include <string>
 
 #include "ccl/communicator.h"
 #include "gpu/machine.h"
@@ -168,6 +171,139 @@ TEST(Dispatch, AllToAllVDeliversRoutedTokens) {
                   static_cast<size_t>(c)]);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: DispatchPlan invariants under adversarial gate scores.
+// The fused dispatch operator trusts counts/offsets/order blindly (they
+// size buffers and drive remote PUTs), so they must stay consistent for
+// ties, saturated logits, and degenerate token distributions.
+// ---------------------------------------------------------------------------
+
+void expect_plan_consistent(const RoutingConfig& cfg, const DispatchPlan& p,
+                            int tokens) {
+  const auto experts = static_cast<std::size_t>(cfg.num_experts);
+  ASSERT_EQ(p.counts.size(), experts);
+  ASSERT_EQ(p.offsets.size(), experts);
+
+  // Counts: non-negative, summing to tokens * top_k.
+  std::int64_t total = 0;
+  for (auto c : p.counts) {
+    EXPECT_GE(c, 0);
+    total += c;
+  }
+  EXPECT_EQ(total, static_cast<std::int64_t>(tokens) * cfg.top_k);
+  ASSERT_EQ(p.order.size(), static_cast<std::size_t>(total));
+
+  // Offsets: exact prefix sums of counts (segments tile `order` densely).
+  std::int64_t off = 0;
+  for (std::size_t e = 0; e < experts; ++e) {
+    EXPECT_EQ(p.offsets[e], off);
+    off += p.counts[e];
+  }
+
+  // Order: every token appears exactly top_k times overall and at most
+  // once inside any single expert's segment.
+  std::vector<int> appearances(static_cast<std::size_t>(tokens), 0);
+  for (int t : p.order) {
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, tokens);
+    ++appearances[static_cast<std::size_t>(t)];
+  }
+  for (int c : appearances) EXPECT_EQ(c, cfg.top_k);
+  for (std::size_t e = 0; e < experts; ++e) {
+    std::vector<bool> seen(static_cast<std::size_t>(tokens), false);
+    for (std::int64_t i = 0; i < p.counts[e]; ++i) {
+      const auto t = static_cast<std::size_t>(
+          p.order[static_cast<std::size_t>(p.offsets[e] + i)]);
+      EXPECT_FALSE(seen[t]) << "token routed twice to expert " << e;
+      seen[t] = true;
+    }
+  }
+}
+
+TEST(RouterProperty, PlanConsistentUnderAdversarialGateScores) {
+  struct Gen {
+    const char* name;
+    float (*value)(int token, int dim);
+  };
+  const Gen generators[] = {
+      {"all_zero", [](int, int) { return 0.0f; }},          // every logit ties
+      {"constant", [](int, int) { return 1.0f; }},          // per-token ties
+      {"huge_positive", [](int, int) { return 1e18f; }},    // saturated logits
+      {"huge_negative", [](int, int) { return -1e18f; }},
+      {"one_hot", [](int t, int d) { return d == t % 7 ? 1.0f : 0.0f; }},
+      {"alternating",
+       [](int t, int d) { return ((t + d) % 2 != 0) ? 1e9f : -1e9f; }},
+  };
+  RoutingConfig configs[] = {
+      {4, 16, 2},  // the default shape
+      {8, 16, 8},  // top_k == num_experts (every expert, every token)
+      {5, 16, 1},  // switch-style top-1
+      {3, 1, 2},   // single-feature gate: maximal tie pressure
+  };
+  for (const auto& cfg : configs) {
+    Rng rng(31);
+    Router router(cfg, rng);
+    for (const auto& gen : generators) {
+      const int tokens = 33;  // not a multiple of num_experts
+      std::vector<float> acts(static_cast<std::size_t>(tokens) *
+                              static_cast<std::size_t>(cfg.d_model));
+      for (int t = 0; t < tokens; ++t) {
+        for (int d = 0; d < cfg.d_model; ++d) {
+          acts[static_cast<std::size_t>(t) *
+                   static_cast<std::size_t>(cfg.d_model) +
+               static_cast<std::size_t>(d)] = gen.value(t, d);
+        }
+      }
+      SCOPED_TRACE(std::string(gen.name) + " experts=" +
+                   std::to_string(cfg.num_experts) + " k=" +
+                   std::to_string(cfg.top_k));
+      const auto plan = router.plan(acts, tokens);
+      expect_plan_consistent(cfg, plan, tokens);
+
+      // Per-token route invariants under the same inputs: distinct experts,
+      // finite normalized weights, descending gate order.
+      const auto r = router.route(
+          std::span<const float>(acts).subspan(0, static_cast<std::size_t>(
+                                                      cfg.d_model)));
+      ASSERT_EQ(r.experts.size(), static_cast<std::size_t>(cfg.top_k));
+      ASSERT_EQ(r.weights.size(), static_cast<std::size_t>(cfg.top_k));
+      float sum = 0;
+      for (std::size_t i = 0; i < r.experts.size(); ++i) {
+        for (std::size_t j = i + 1; j < r.experts.size(); ++j) {
+          EXPECT_NE(r.experts[i], r.experts[j]);
+        }
+        EXPECT_TRUE(std::isfinite(r.weights[i]));
+        // Saturated logits may underflow a cold expert's weight to exactly
+        // zero — legal; negative or NaN is not.
+        EXPECT_GE(r.weights[i], 0.0f);
+        if (i > 0) {
+          EXPECT_GE(r.weights[i - 1], r.weights[i]);
+        }
+        sum += r.weights[i];
+      }
+      EXPECT_NEAR(sum, 1.0f, 1e-4);
+    }
+  }
+}
+
+TEST(RouterProperty, TiedLogitsBreakTowardLowerExpertIds) {
+  // All-zero activations tie every gate logit; the stable sort must pick
+  // experts 0..k-1 deterministically (no dependence on sort internals).
+  RoutingConfig cfg;
+  cfg.num_experts = 6;
+  cfg.d_model = 8;
+  cfg.top_k = 3;
+  Rng rng(32);
+  Router router(cfg, rng);
+  std::vector<float> zero(static_cast<std::size_t>(cfg.d_model), 0.0f);
+  const auto r = router.route(zero);
+  ASSERT_EQ(r.experts.size(), 3u);
+  EXPECT_EQ(r.experts[0], 0);
+  EXPECT_EQ(r.experts[1], 1);
+  EXPECT_EQ(r.experts[2], 2);
+  for (float w : r.weights) EXPECT_NEAR(w, 1.0f / 3.0f, 1e-5);
 }
 
 TEST(Dispatch, EqualLoadAssumptionApproximatelyHoldsAtScale) {

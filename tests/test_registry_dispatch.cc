@@ -64,8 +64,9 @@ TEST(GlobalRegistry, BuiltinOpsSelfRegister) {
   EXPECT_TRUE(reg.contains("fcc::embedding_a2a"));
   EXPECT_TRUE(reg.contains("fcc::gemv_allreduce"));
   EXPECT_TRUE(reg.contains("fcc::gemm_a2a"));
+  EXPECT_TRUE(reg.contains("fcc::moe_dispatch"));
   const auto names = reg.names();
-  EXPECT_GE(names.size(), 3u);
+  EXPECT_GE(names.size(), 4u);
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 }
 

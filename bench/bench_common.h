@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/csv.h"
+#include "common/perf_json.h"
 #include "common/table.h"
 #include "common/types.h"
 
@@ -35,6 +36,9 @@ struct NormRow {
 
 /// Prints the canonical "normalized execution time" table (fused/baseline,
 /// baseline == 1.0) and the mean/max reduction summary the paper quotes.
+/// Rows with a zero baseline print (and record) "n/a" instead of NaN/inf
+/// and are excluded from the mean/max; an empty sweep prints "n/a" for the
+/// summary rather than dividing by zero.
 inline void print_normalized(const std::string& title,
                              const std::vector<NormRow>& rows,
                              const std::string& csv_name) {
@@ -43,12 +47,21 @@ inline void print_normalized(const std::string& title,
   fcc::CsvWriter csv(out_dir() + "/" + csv_name,
                      {"config", "baseline_ns", "fused_ns", "normalized"});
   double sum_reduction = 0, max_reduction = 0;
+  std::size_t valid_rows = 0;
   for (const auto& r : rows) {
+    if (r.baseline == 0) {
+      t.add_row({r.label, fcc::AsciiTable::fmt(fcc::ns_to_us(r.baseline), 1),
+                 fcc::AsciiTable::fmt(fcc::ns_to_us(r.fused), 1), "n/a",
+                 "n/a"});
+      csv.row(r.label, r.baseline, r.fused, "n/a");
+      continue;
+    }
     const double norm =
         static_cast<double>(r.fused) / static_cast<double>(r.baseline);
     const double red = 100.0 * (1.0 - norm);
     sum_reduction += red;
     max_reduction = std::max(max_reduction, red);
+    ++valid_rows;
     t.add_row({r.label, fcc::AsciiTable::fmt(fcc::ns_to_us(r.baseline), 1),
                fcc::AsciiTable::fmt(fcc::ns_to_us(r.fused), 1),
                fcc::AsciiTable::fmt(norm, 3), fcc::AsciiTable::fmt(red, 1)});
@@ -56,10 +69,15 @@ inline void print_normalized(const std::string& title,
   }
   std::cout << title << "\n";
   t.print(std::cout);
-  std::cout << "mean reduction: "
-            << fcc::AsciiTable::fmt(sum_reduction / rows.size(), 1)
-            << "%   max reduction: " << fcc::AsciiTable::fmt(max_reduction, 1)
-            << "%\n\n";
+  if (valid_rows == 0) {
+    std::cout << "mean reduction: n/a   max reduction: n/a\n\n";
+  } else {
+    std::cout << "mean reduction: "
+              << fcc::AsciiTable::fmt(
+                     sum_reduction / static_cast<double>(valid_rows), 1)
+              << "%   max reduction: "
+              << fcc::AsciiTable::fmt(max_reduction, 1) << "%\n\n";
+  }
 }
 
 }  // namespace fccbench

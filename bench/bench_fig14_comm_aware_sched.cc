@@ -7,6 +7,7 @@
 #include "bench_common.h"
 #include "fused/embedding_a2a.h"
 #include "shmem/world.h"
+#include "sweep_runner.h"
 
 namespace {
 
@@ -35,8 +36,13 @@ fused::OperatorResult run(gpu::SchedulePolicy policy) {
 }  // namespace
 
 int main() {
-  const auto aware = run(gpu::SchedulePolicy::kCommAware);
-  const auto oblivious = run(gpu::SchedulePolicy::kOblivious);
+  const auto results = fccbench::run_sweep<fused::OperatorResult>(
+      "bench_fig14_comm_aware_sched", 2, [](int i) {
+        return run(i == 0 ? gpu::SchedulePolicy::kCommAware
+                          : gpu::SchedulePolicy::kOblivious);
+      });
+  const auto& aware = results[0];
+  const auto& oblivious = results[1];
 
   AsciiTable t({"scheduling", "node0 (us)", "node1 (us)", "skew %",
                 "total (us)"});

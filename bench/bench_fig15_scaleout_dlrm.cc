@@ -5,23 +5,36 @@
 // Paper result: ~21% lower execution time at 128 nodes.
 #include "bench_common.h"
 #include "scaleout/dlrm_training.h"
+#include "sweep_runner.h"
 
 int main() {
   using namespace fcc;
   using namespace fcc::scaleout;
 
+  const int node_counts[] = {8, 16, 32, 64, 128};
+  struct Point {
+    IterationBreakdown base, fused;
+  };
+  const auto points = fccbench::run_sweep<Point>(
+      "bench_fig15_scaleout_dlrm", 5, [&](int i) {
+        TrainingConfig cfg;  // Table II defaults
+        cfg.num_nodes = node_counts[i];
+        cfg.global_batch = 64 * node_counts[i];
+        DlrmTrainingSim sim(cfg);
+        return Point{sim.simulate(false), sim.simulate(true)};
+      });
+
   AsciiTable t({"nodes", "torus", "baseline (us)", "fused (us)", "normalized",
                 "reduction %"});
   CsvWriter csv(fccbench::out_dir() + "/fig15_scaleout_dlrm.csv",
                 {"nodes", "baseline_ns", "fused_ns", "normalized"});
-  for (int nodes : {8, 16, 32, 64, 128}) {
-    TrainingConfig cfg;  // Table II defaults
-    cfg.num_nodes = nodes;
-    cfg.global_batch = 64 * nodes;
-    DlrmTrainingSim sim(cfg);
-    const auto base = sim.simulate(false);
-    const auto fused = sim.simulate(true);
+  for (int i = 0; i < 5; ++i) {
+    const int nodes = node_counts[i];
+    const auto& base = points[static_cast<std::size_t>(i)].base;
+    const auto& fused = points[static_cast<std::size_t>(i)].fused;
     const double norm = static_cast<double>(fused.total) / base.total;
+    TrainingConfig cfg;
+    cfg.num_nodes = nodes;
     const auto torus = torus_for_nodes(nodes, cfg.torus);
     t.add_row({std::to_string(nodes),
                std::to_string(torus.dim_x) + "x" + std::to_string(torus.dim_y),
@@ -36,10 +49,7 @@ int main() {
   t.print(std::cout);
 
   // Component breakdown at 128 nodes (what the overlap hides).
-  TrainingConfig cfg;
-  cfg.num_nodes = 128;
-  cfg.global_batch = 64 * 128;
-  const auto b = DlrmTrainingSim(cfg).simulate(false);
+  const auto& b = points.back().base;
   AsciiTable parts({"component (128 nodes)", "per-iteration (us)"});
   parts.add_row({"embedding fwd+bwd",
                  AsciiTable::fmt(ns_to_us(b.emb_fwd + b.emb_bwd), 1)});

@@ -6,6 +6,7 @@
 // which is what bounds how large a sweep the harness can afford.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "fused/embedding_a2a.h"
 #include "fused/gemv_allreduce.h"
 #include "hw/link.h"
@@ -102,6 +103,47 @@ void BM_FusedGemvSim(benchmark::State& state) {
 }
 BENCHMARK(BM_FusedGemvSim)->Arg(8192)->Arg(32768);
 
+/// Console reporter that also captures every run's throughput into
+/// bench_results/host_perf.json (merged with the sweep benches' records),
+/// giving the repo a machine-readable engine-speed trajectory across PRs.
+class PerfJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      const std::string section = "bench_microbench/" + run.benchmark_name();
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        perf_.set(section, "items_per_second", items->second);
+      }
+      if (run.iterations > 0) {
+        perf_.set(section, "wall_ns_per_iteration",
+                  run.real_accumulated_time * 1e9 /
+                      static_cast<double>(run.iterations));
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void Finalize() override {
+    const std::string path = fccbench::out_dir() + "/host_perf.json";
+    fcc::PerfJson merged;
+    merged.load(path);  // keep other benches' sections; absent file is fine
+    merged.merge_from(perf_);
+    merged.save(path);
+    ConsoleReporter::Finalize();
+  }
+
+ private:
+  fcc::PerfJson perf_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  PerfJsonReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include "bench_common.h"
 #include "fused/moe_dispatch.h"
 #include "shmem/world.h"
+#include "sweep_runner.h"
 
 namespace {
 
@@ -43,27 +44,29 @@ TimeNs run(int tokens, int d_model, int d_out, double hot, bool fused_path) {
 int main() {
   // Skew sweep at a fixed MoE layer shape (tokens, d_model, d_out), then a
   // shape sweep at the acceptance skew of 4x.
-  std::vector<fccbench::NormRow> rows;
-  for (const double hot : {1.0, 2.0, 4.0, 8.0, 16.0}) {
-    fccbench::NormRow row;
-    row.label = "T=1024 dM=1024 dO=1024 skew=" +
-                fcc::AsciiTable::fmt(hot, 0) + "x";
-    row.baseline = run(1024, 1024, 1024, hot, false);
-    row.fused = run(1024, 1024, 1024, hot, true);
-    rows.push_back(row);
-  }
+  const double skews[] = {1.0, 2.0, 4.0, 8.0, 16.0};
   const int shapes[][3] = {{512, 1024, 1024},
                            {2048, 1024, 1024},
                            {2048, 2048, 1024},
                            {4096, 2048, 2048}};
-  for (const auto& [t, dm, dout] : shapes) {
-    fccbench::NormRow row;
-    row.label = "T=" + std::to_string(t) + " dM=" + std::to_string(dm) +
-                " dO=" + std::to_string(dout) + " skew=4x";
-    row.baseline = run(t, dm, dout, 4.0, false);
-    row.fused = run(t, dm, dout, 4.0, true);
-    rows.push_back(row);
-  }
+  const auto rows = fccbench::run_sweep<fccbench::NormRow>(
+      "bench_moe_dispatch", 9, [&](int i) {
+        fccbench::NormRow row;
+        if (i < 5) {
+          const double hot = skews[i];
+          row.label = "T=1024 dM=1024 dO=1024 skew=" +
+                      fcc::AsciiTable::fmt(hot, 0) + "x";
+          row.baseline = run(1024, 1024, 1024, hot, false);
+          row.fused = run(1024, 1024, 1024, hot, true);
+        } else {
+          const auto& [t, dm, dout] = shapes[i - 5];
+          row.label = "T=" + std::to_string(t) + " dM=" + std::to_string(dm) +
+                      " dO=" + std::to_string(dout) + " skew=4x";
+          row.baseline = run(t, dm, dout, 4.0, false);
+          row.fused = run(t, dm, dout, 4.0, true);
+        }
+        return row;
+      });
   fccbench::print_normalized(
       "MoE dispatch — fused routed All-to-All-v vs GEMM + all_to_all_v "
       "(4 experts, top-2)\n"

@@ -1,0 +1,183 @@
+// Minimal two-level JSON record for host-performance numbers.
+//
+// The benches append machine-readable throughput records (events/sec,
+// items/sec, wall seconds per sweep) to one shared file —
+// bench_results/host_perf.json — so the repo has a perf trajectory to
+// compare PRs against. The shape is fixed: an object of sections, each a
+// flat object of numeric metrics:
+//
+//   { "bench_fig10_gemm_alltoall": { "wall_seconds": 0.41, ... }, ... }
+//
+// Each bench process read-modify-writes only its own sections, so running
+// benches in any order accumulates one coherent file. The parser accepts
+// exactly the subset the writer emits (plus whitespace); a malformed or
+// foreign file is treated as empty rather than an error, so a stale or
+// hand-edited file can never break a bench run.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace fcc {
+
+class PerfJson {
+ public:
+  void set(const std::string& section, const std::string& key, double value) {
+    data_[section][key] = value;
+  }
+
+  bool has(const std::string& section) const {
+    return data_.find(section) != data_.end();
+  }
+
+  double get(const std::string& section, const std::string& key,
+             double fallback = 0.0) const {
+    const auto s = data_.find(section);
+    if (s == data_.end()) return fallback;
+    const auto k = s->second.find(key);
+    return k == s->second.end() ? fallback : k->second;
+  }
+
+  std::size_t num_sections() const { return data_.size(); }
+
+  /// Overlays `other`'s metrics onto this record (`other` wins per key).
+  void merge_from(const PerfJson& other) {
+    for (const auto& [section, metrics] : other.data_) {
+      auto& dst = data_[section];
+      for (const auto& [key, value] : metrics) dst[key] = value;
+    }
+  }
+
+  /// Merges the sections of `path` into this record (existing sections win
+  /// over file sections only per overwritten key). Returns false — leaving
+  /// this record unchanged — if the file is missing or malformed.
+  bool load(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return false;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str());
+  }
+
+  void save(const std::string& path) const {
+    std::ofstream out(path);
+    out << str();
+  }
+
+  std::string str() const {
+    std::ostringstream os;
+    os.precision(15);
+    os << "{";
+    bool first_s = true;
+    for (const auto& [section, metrics] : data_) {
+      os << (first_s ? "\n" : ",\n") << "  \"" << section << "\": {";
+      first_s = false;
+      bool first_k = true;
+      for (const auto& [key, value] : metrics) {
+        os << (first_k ? "\n" : ",\n") << "    \"" << key << "\": " << value;
+        first_k = false;
+      }
+      os << "\n  }";
+    }
+    os << "\n}\n";
+    return os.str();
+  }
+
+  /// Parses the writer's subset of JSON, merging into this record. On any
+  /// syntax error the record keeps only what it held before the call.
+  bool parse(const std::string& text) {
+    Cursor c{text, 0};
+    std::map<std::string, std::map<std::string, double>> parsed;
+    if (!parse_object(c, parsed)) return false;
+    c.skip_ws();
+    if (c.pos != text.size()) return false;
+    for (auto& [section, metrics] : parsed) {
+      auto& dst = data_[section];
+      for (auto& [key, value] : metrics) dst[key] = value;
+    }
+    return true;
+  }
+
+ private:
+  struct Cursor {
+    const std::string& s;
+    std::size_t pos;
+
+    void skip_ws() {
+      while (pos < s.size() &&
+             std::isspace(static_cast<unsigned char>(s[pos]))) {
+        ++pos;
+      }
+    }
+    bool eat(char ch) {
+      skip_ws();
+      if (pos >= s.size() || s[pos] != ch) return false;
+      ++pos;
+      return true;
+    }
+    bool peek(char ch) {
+      skip_ws();
+      return pos < s.size() && s[pos] == ch;
+    }
+  };
+
+  static bool parse_string(Cursor& c, std::string& out) {
+    if (!c.eat('"')) return false;
+    out.clear();
+    while (c.pos < c.s.size() && c.s[c.pos] != '"') {
+      char ch = c.s[c.pos++];
+      if (ch == '\\') {
+        if (c.pos >= c.s.size()) return false;
+        ch = c.s[c.pos++];
+      }
+      out.push_back(ch);
+    }
+    return c.eat('"');
+  }
+
+  static bool parse_number(Cursor& c, double& out) {
+    c.skip_ws();
+    const char* begin = c.s.c_str() + c.pos;
+    char* end = nullptr;
+    out = std::strtod(begin, &end);
+    if (end == begin) return false;
+    c.pos += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  static bool parse_metrics(Cursor& c, std::map<std::string, double>& out) {
+    if (!c.eat('{')) return false;
+    if (c.peek('}')) return c.eat('}');
+    do {
+      std::string key;
+      double value = 0;
+      if (!parse_string(c, key) || !c.eat(':') || !parse_number(c, value)) {
+        return false;
+      }
+      out[key] = value;
+    } while (c.eat(','));
+    return c.eat('}');
+  }
+
+  static bool parse_object(
+      Cursor& c, std::map<std::string, std::map<std::string, double>>& out) {
+    if (!c.eat('{')) return false;
+    if (c.peek('}')) return c.eat('}');
+    do {
+      std::string section;
+      if (!parse_string(c, section) || !c.eat(':') ||
+          !parse_metrics(c, out[section])) {
+        return false;
+      }
+    } while (c.eat(','));
+    return c.eat('}');
+  }
+
+  std::map<std::string, std::map<std::string, double>> data_;
+};
+
+}  // namespace fcc

@@ -2,7 +2,9 @@
 //
 // The discrete-event simulator itself is single-threaded (determinism), but
 // benches run many *independent* simulations per sweep; the pool lets those
-// run concurrently. Follows CP.20/CP.23 (RAII joining, no detached threads).
+// run concurrently — bench/sweep_runner.h is the consumer that fans sweep
+// points (one whole engine each) across it with index-ordered results.
+// Follows CP.20/CP.23 (RAII joining, no detached threads).
 #pragma once
 
 #include <condition_variable>

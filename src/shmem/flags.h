@@ -5,17 +5,24 @@
 // `co_await wait_ge(...)`. Waiting is condition-based rather than busy-poll:
 // a GPU WG spinning on a cached flag consumes negligible memory bandwidth,
 // so the idealization costs nothing in timing and keeps event counts linear.
+//
+// Wakeups are *targeted*: each flag keeps its waiters sorted by threshold,
+// and `set`/`add` resumes exactly the waiters whose `wait_ge` predicate the
+// new value satisfies — in registration order, matching the resume order of
+// the old broadcast-Condition protocol while eliminating its no-op re-check
+// events (an arrival counter tick used to wake every waiter on the index).
+// A satisfied waiter's coroutine is resumed directly (one pooled resume
+// event); there is no re-check loop and no per-wait coroutine frame.
 #pragma once
 
+#include <algorithm>
+#include <coroutine>
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "common/check.h"
 #include "common/types.h"
-#include "sim/co.h"
 #include "sim/engine.h"
-#include "sim/sync.h"
 
 namespace fcc::shmem {
 
@@ -23,52 +30,117 @@ class FlagArray {
  public:
   FlagArray(sim::Engine& engine, int num_pes, std::size_t n)
       : engine_(engine),
-        values_(static_cast<std::size_t>(num_pes),
-                std::vector<std::uint64_t>(n, 0)),
-        conds_(static_cast<std::size_t>(num_pes)) {
-    for (auto& c : conds_) c.resize(n);
-  }
+        num_pes_(num_pes),
+        n_(n),
+        values_(static_cast<std::size_t>(num_pes) * n, 0),
+        waiters_(static_cast<std::size_t>(num_pes) * n) {}
 
-  std::size_t size() const { return values_.empty() ? 0 : values_[0].size(); }
-  int num_pes() const { return static_cast<int>(values_.size()); }
-
-  std::uint64_t read(PeId pe, std::size_t i) const {
-    return values_[idx(pe)][i];
-  }
-
-  /// Local (or delivered-remote) store to the flag; wakes waiters.
-  void set(PeId pe, std::size_t i, std::uint64_t v) {
-    values_[idx(pe)][i] = v;
-    auto& c = conds_[idx(pe)][i];
-    if (c) c->notify_all();
-  }
-
-  /// Fetch-add used for arrival counters; wakes waiters; returns new value.
-  std::uint64_t add(PeId pe, std::size_t i, std::uint64_t v) {
-    values_[idx(pe)][i] += v;
-    auto& c = conds_[idx(pe)][i];
-    if (c) c->notify_all();
-    return values_[idx(pe)][i];
-  }
-
-  /// Awaitable: suspends until flag[pe][i] >= v (shmem_wait_until analog).
-  sim::Co wait_ge(PeId pe, std::size_t i, std::uint64_t v) {
-    while (values_[idx(pe)][i] < v) {
-      auto& c = conds_[idx(pe)][i];
-      if (!c) c = std::make_unique<sim::Condition>(engine_);
-      co_await c->wait();
+  ~FlagArray() {
+    for ([[maybe_unused]] const auto& ws : waiters_) {
+      FCC_DCHECK(ws.empty());
     }
   }
 
+  std::size_t size() const { return n_; }
+  int num_pes() const { return num_pes_; }
+
+  std::uint64_t read(PeId pe, std::size_t i) const {
+    return values_[flat(pe, i)];
+  }
+
+  /// Local (or delivered-remote) store to the flag; wakes satisfied waiters.
+  /// While waiters are armed the value must not decrease: a targeted wakeup
+  /// commits the waiter at notify time and there is no re-check at resume
+  /// (shmem flags are monotonic — readiness bits and arrival counters).
+  void set(PeId pe, std::size_t i, std::uint64_t v) {
+    const std::size_t f = flat(pe, i);
+    FCC_DCHECK(waiters_[f].empty() || v >= values_[f]);
+    values_[f] = v;
+    wake(f);
+  }
+
+  /// Fetch-add used for arrival counters; wakes satisfied waiters; returns
+  /// the new value.
+  std::uint64_t add(PeId pe, std::size_t i, std::uint64_t v) {
+    const std::size_t f = flat(pe, i);
+    values_[f] += v;
+    wake(f);
+    return values_[f];
+  }
+
+  /// Awaitable: suspends until flag[pe][i] >= v (shmem_wait_until analog).
+  /// Already-satisfied waits do not suspend and cost no events.
+  auto wait_ge(PeId pe, std::size_t i, std::uint64_t v) {
+    struct Awaiter {
+      FlagArray& fa;
+      std::size_t f;
+      std::uint64_t threshold;
+      bool await_ready() const noexcept { return fa.values_[f] >= threshold; }
+      void await_suspend(std::coroutine_handle<> h) {
+        fa.enqueue(f, threshold, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, flat(pe, i), v};
+  }
+
+  /// Waiters currently suspended on flag[pe][i] (tests / diagnostics).
+  std::size_t num_waiters(PeId pe, std::size_t i) const {
+    return waiters_[flat(pe, i)].size();
+  }
+
  private:
-  std::size_t idx(PeId pe) const {
-    FCC_DCHECK(pe >= 0 && pe < num_pes());
-    return static_cast<std::size_t>(pe);
+  struct Waiter {
+    std::uint64_t threshold;
+    std::uint64_t order;  // registration sequence (wake-order tiebreak)
+    std::coroutine_handle<> h;
+  };
+
+  std::size_t flat(PeId pe, std::size_t i) const {
+    FCC_DCHECK(pe >= 0 && pe < num_pes_);
+    FCC_DCHECK(i < n_);
+    return static_cast<std::size_t>(pe) * n_ + i;
+  }
+
+  void enqueue(std::size_t f, std::uint64_t threshold,
+               std::coroutine_handle<> h) {
+    auto& ws = waiters_[f];
+    const Waiter w{threshold, next_order_++, h};
+    // Keep sorted by threshold; `order` is monotonic, so inserting after
+    // equal thresholds keeps the sort stable in registration order.
+    const auto pos = std::upper_bound(
+        ws.begin(), ws.end(), threshold,
+        [](std::uint64_t t, const Waiter& x) { return t < x.threshold; });
+    ws.insert(pos, w);
+  }
+
+  /// Resumes every waiter whose threshold the flag's value now meets — the
+  /// sorted prefix — in registration order.
+  void wake(std::size_t f) {
+    auto& ws = waiters_[f];
+    if (ws.empty()) return;
+    const std::uint64_t v = values_[f];
+    std::size_t k = 0;
+    while (k < ws.size() && ws[k].threshold <= v) ++k;
+    if (k == 0) return;
+    if (k > 1) {
+      std::sort(ws.begin(), ws.begin() + static_cast<std::ptrdiff_t>(k),
+                [](const Waiter& a, const Waiter& b) {
+                  return a.order < b.order;
+                });
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      engine_.schedule_resume_after(0, ws[j].h);
+    }
+    ws.erase(ws.begin(), ws.begin() + static_cast<std::ptrdiff_t>(k));
   }
 
   sim::Engine& engine_;
-  std::vector<std::vector<std::uint64_t>> values_;
-  std::vector<std::vector<std::unique_ptr<sim::Condition>>> conds_;
+  int num_pes_;
+  std::size_t n_;
+  std::vector<std::uint64_t> values_;      // [pe * n + i], contiguous
+  std::vector<std::vector<Waiter>> waiters_;  // [pe * n + i]
+  std::uint64_t next_order_ = 0;
 };
 
 /// WG-completion bitmask for one slice (WG_Done analog). The last WG to set
@@ -96,7 +168,19 @@ class WgDoneMask {
   }
 
   bool complete() const { return count_ == expected_; }
-  std::uint64_t mask() const { return words_.front(); }
+
+  /// Single-word view, valid only for masks of <= 64 WGs (wider masks would
+  /// silently truncate — use words()).
+  std::uint64_t mask() const {
+    FCC_CHECK_MSG(expected_ <= 64,
+                  "mask() on a " << expected_ << "-WG mask truncates; "
+                                 << "use words()");
+    return words_.front();
+  }
+
+  /// Full word span, least-significant word first (bit wg lives at
+  /// words()[wg / 64] bit wg % 64).
+  const std::vector<std::uint64_t>& words() const { return words_; }
 
  private:
   int expected_;

@@ -13,9 +13,9 @@
 // all of this PE's outstanding deliveries.
 #pragma once
 
+#include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <vector>
 
 #include "common/check.h"
@@ -37,12 +37,8 @@ class World {
 
   explicit World(gpu::Machine& machine)
       : machine_(machine),
-        outstanding_(static_cast<std::size_t>(machine.num_pes()), 0) {
-    drained_.reserve(static_cast<std::size_t>(machine.num_pes()));
-    for (int i = 0; i < machine.num_pes(); ++i) {
-      drained_.push_back(std::make_unique<sim::Condition>(machine.engine()));
-    }
-  }
+        outstanding_(static_cast<std::size_t>(machine.num_pes()), 0),
+        drain_waiters_(static_cast<std::size_t>(machine.num_pes())) {}
 
   gpu::Machine& machine() { return machine_; }
   int n_pes() const { return machine_.num_pes(); }
@@ -73,11 +69,14 @@ class World {
     (void)src;
   }
 
-  /// Blocks until every PUT issued by `src` has been delivered.
+  /// Blocks until every PUT issued by `src` has been delivered. The wakeup
+  /// is targeted: waiters are resumed only when the outstanding count hits
+  /// zero (the loop re-checks in case a same-time event issued a new PUT
+  /// between the wake and the resume).
   sim::Co quiet(PeId src) {
     auto& count = outstanding_[static_cast<std::size_t>(src)];
     while (count > 0) {
-      co_await drained_[static_cast<std::size_t>(src)]->wait();
+      co_await DrainAwaiter{*this, src};
     }
   }
 
@@ -104,6 +103,18 @@ class World {
   static constexpr TimeNs kFenceCostNs = 50;
 
  private:
+  struct DrainAwaiter {
+    World& w;
+    PeId src;
+    bool await_ready() const noexcept {
+      return w.outstanding_[static_cast<std::size_t>(src)] == 0;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      w.drain_waiters_[static_cast<std::size_t>(src)].push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
   sim::Co issue_cost(PeId src, PeId dst, IssueKind kind) {
     const TimeNs cost = issue_latency(src, dst, kind);
     if (cost > 0) co_await machine_.device(src).busy_wait(cost);
@@ -115,12 +126,18 @@ class World {
   void finish_tracking(PeId src) {
     auto& count = outstanding_[static_cast<std::size_t>(src)];
     FCC_CHECK(count > 0);
-    if (--count == 0) drained_[static_cast<std::size_t>(src)]->notify_all();
+    if (--count == 0) {
+      auto& waiters = drain_waiters_[static_cast<std::size_t>(src)];
+      for (auto h : waiters) {
+        machine_.engine().schedule_resume_after(0, h);
+      }
+      waiters.clear();
+    }
   }
 
   gpu::Machine& machine_;
   std::vector<int> outstanding_;
-  std::vector<std::unique_ptr<sim::Condition>> drained_;
+  std::vector<std::vector<std::coroutine_handle<>>> drain_waiters_;
   std::int64_t puts_issued_ = 0;
 };
 

@@ -4,12 +4,42 @@
 // virtual time fire in the order they were scheduled, which makes every
 // simulation bit-reproducible. The engine is deliberately single-threaded
 // (CP.2: no shared mutable state between threads); sweep-level parallelism
-// runs *whole engines* on separate threads instead.
+// runs *whole engines* on separate threads instead (bench/sweep_runner.h).
+//
+// Hot-path design (host speed only — simulated timing is untouched, see
+// tests/test_sim_determinism.cc):
+//
+//   * The ready queue is three-tiered. Events scheduled while the engine
+//     holds no pending events (the bulk-spawn phase at the start of every
+//     operator, and the single in-flight event of a delay chain) land in a
+//     flat staging buffer; the first pop sorts it once, descending, and
+//     drains it back-to-front — one cache-friendly std::sort instead of
+//     per-event heap repair. Events scheduled *while* events are pending
+//     go to a d-ary heap (d = 4) of the same 24-byte (time, seq, payload)
+//     entries. Each pop takes the smaller of (sorted-run back, heap root)
+//     under the (time, seq) total order, so the engine pops in exactly the
+//     same order as the std::priority_queue it replaced.
+//   * The overwhelming event kind is "resume this coroutine" (delay,
+//     busy_wait, flag wakeups, PUT completions). `schedule_resume_*` packs
+//     the bare handle into the heap entry's tagged payload word — no event
+//     object, no allocation, no dispatch indirection beyond the resume.
+//   * Arbitrary callbacks live in a slab of fixed-size pooled nodes
+//     (chunked so node addresses are stable; freed nodes go on a free list
+//     and are reused — steady-state scheduling performs zero heap
+//     allocations). Callables up to the node's small buffer are stored
+//     inline (every callback in this codebase fits); larger ones fall back
+//     to one heap allocation, preserving the generic API.
 #pragma once
 
+#include <algorithm>
+#include <coroutine>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -22,20 +52,91 @@ class Engine {
   Engine() = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+  ~Engine() {
+    // Destroy pending callbacks without running them (coroutine handles are
+    // non-owning here: frames are destroyed by their own final-suspend
+    // machinery or leaked with the process, matching the old behavior).
+    for (const auto* q : {&staging_, &sorted_run_, &heap_}) {
+      for (const HeapEntry& e : *q) {
+        if (!is_resume(e.payload)) {
+          Node& n = node(node_index(e.payload));
+          n.dispose(n.buf);
+        }
+      }
+    }
+  }
 
   TimeNs now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `t` (>= now).
-  void schedule_at(TimeNs t, std::function<void()> fn) {
+  /// Schedules `fn` at absolute time `t` (>= now). Callables up to
+  /// kInlineBytes are stored in a pooled event node; larger ones cost one
+  /// heap allocation.
+  template <typename F>
+  void schedule_at(TimeNs t, F&& fn) {
     FCC_CHECK_MSG(t >= now_, "cannot schedule into the past: " << t << " < "
                                                                << now_);
-    queue_.push(Event{t, next_seq_++, std::move(fn)});
+    // The node is fully constructed before its entry is queued, so a
+    // throwing callable constructor (or allocation failure) leaves nothing
+    // behind that fire() or ~Engine() could touch.
+    const std::uint32_t idx = alloc_node();
+    Node& n = node(idx);
+    using Fn = std::decay_t<F>;
+    try {
+      if constexpr (sizeof(Fn) <= kInlineBytes &&
+                    alignof(Fn) <= alignof(std::max_align_t)) {
+        ::new (static_cast<void*>(n.buf)) Fn(std::forward<F>(fn));
+        n.run_and_dispose = [](void* buf) {
+          Fn* fn_p = std::launder(reinterpret_cast<Fn*>(buf));
+          (*fn_p)();
+          fn_p->~Fn();
+        };
+        n.dispose = [](void* buf) {
+          std::launder(reinterpret_cast<Fn*>(buf))->~Fn();
+        };
+      } else {
+        Fn* heap_fn = new Fn(std::forward<F>(fn));
+        std::memcpy(n.buf, &heap_fn, sizeof(heap_fn));
+        n.run_and_dispose = [](void* buf) {
+          Fn* fn_p;
+          std::memcpy(&fn_p, buf, sizeof(fn_p));
+          (*fn_p)();
+          delete fn_p;
+        };
+        n.dispose = [](void* buf) {
+          Fn* fn_p;
+          std::memcpy(&fn_p, buf, sizeof(fn_p));
+          delete fn_p;
+        };
+      }
+    } catch (...) {
+      free_.push_back(idx);
+      throw;
+    }
+    try {
+      push_entry(t, static_cast<std::uintptr_t>(idx) << 1);
+    } catch (...) {
+      n.dispose(n.buf);
+      free_.push_back(idx);
+      throw;
+    }
   }
 
   /// Schedules `fn` after a relative delay (>= 0).
-  void schedule_after(TimeNs dt, std::function<void()> fn) {
+  template <typename F>
+  void schedule_after(TimeNs dt, F&& fn) {
     FCC_CHECK(dt >= 0);
-    schedule_at(now_ + dt, std::move(fn));
+    schedule_at(now_ + dt, std::forward<F>(fn));
+  }
+
+  /// Fast path for the dominant event kind: resume `h` at time `t`. The
+  /// handle itself is the event payload — nothing is allocated or pooled.
+  void schedule_resume_at(TimeNs t, std::coroutine_handle<> h) {
+    push_entry(t, reinterpret_cast<std::uintptr_t>(h.address()) | 1u);
+  }
+
+  void schedule_resume_after(TimeNs dt, std::coroutine_handle<> h) {
+    FCC_CHECK(dt >= 0);
+    schedule_resume_at(now_ + dt, h);
   }
 
   /// Runs until the event queue drains. Returns the number of events
@@ -43,17 +144,30 @@ class Engine {
   /// afterwards (live_tasks() > 0) the simulation deadlocked.
   std::size_t run() {
     std::size_t processed = 0;
-    while (!queue_.empty()) {
+    for (;;) {
+      // Single-pending fast cycle: one in-flight event ping-ponging through
+      // the queue (a delay chain / busy-wait loop, the most common shape).
+      // By the staging invariant sorted_run_ and heap_ are empty here, so
+      // the event can fire straight out of the staging buffer.
+      while (staging_.size() == 1) {
+        const HeapEntry top = staging_.front();
+        staging_.clear();
+        FCC_DCHECK(top.t >= now_);
+        now_ = top.t;
+        ++processed;
+        fire(top);
+      }
+      if (idle()) return processed;
       step();
       ++processed;
     }
-    return processed;
   }
 
   /// Runs events with time <= `deadline`. Returns events processed.
   std::size_t run_until(TimeNs deadline) {
     std::size_t processed = 0;
-    while (!queue_.empty() && queue_.top().t <= deadline) {
+    for (const HeapEntry* next = peek();
+         next != nullptr && next->t <= deadline; next = peek()) {
       step();
       ++processed;
     }
@@ -61,7 +175,18 @@ class Engine {
     return processed;
   }
 
-  bool idle() const { return queue_.empty(); }
+  bool idle() const {
+    return staging_.empty() && sorted_run_.empty() && heap_.empty();
+  }
+
+  /// Events scheduled but not yet fired.
+  std::size_t pending() const {
+    return staging_.size() + sorted_run_.size() + heap_.size();
+  }
+
+  /// Pooled callback nodes ever created (capacity watermark, not live
+  /// count; resume events never take a node).
+  std::size_t slab_nodes() const { return next_node_; }
 
   /// Number of coroutine processes started but not yet finished.
   int live_tasks() const { return live_tasks_; }
@@ -74,27 +199,182 @@ class Engine {
   }
 
  private:
-  struct Event {
-    TimeNs t;
-    std::uint64_t seq;
-    std::function<void()> fn;
+  /// Small-buffer size for inline callbacks. Sized for the largest lambda
+  /// the library schedules (PUT delivery: this + ids + a std::function).
+  static constexpr std::size_t kInlineBytes = 48;
+  static constexpr std::size_t kChunkShift = 9;  // 512 nodes per slab chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr unsigned kHeapArity = 4;
 
-    bool operator>(const Event& o) const {
-      return t != o.t ? t > o.t : seq > o.seq;
-    }
+  /// Pooled storage for one callback event. `run_and_dispose` executes and
+  /// destroys in a single indirect call; `dispose` destroys without running
+  /// (engine teardown with events still pending).
+  struct Node {
+    void (*run_and_dispose)(void* buf);
+    void (*dispose)(void* buf);
+    alignas(std::max_align_t) unsigned char buf[kInlineBytes];
   };
 
-  void step() {
-    // The event is moved out before running: the callback may schedule more
-    // events (mutating the queue).
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    FCC_DCHECK(ev.t >= now_);
-    now_ = ev.t;
-    ev.fn();
+  /// Heap entries carry the full (time, seq) sort key, so sifting compares
+  /// within one contiguous array and never dereferences the slab. The
+  /// payload word is tagged: bit 0 set => the rest is a coroutine frame
+  /// address to resume (frame alignment guarantees the bit is free);
+  /// bit 0 clear => payload >> 1 is a slab node index.
+  struct HeapEntry {
+    TimeNs t;
+    std::uint64_t seq;
+    std::uintptr_t payload;
+  };
+
+  static bool is_resume(std::uintptr_t payload) { return (payload & 1u) != 0; }
+  static std::uint32_t node_index(std::uintptr_t payload) {
+    return static_cast<std::uint32_t>(payload >> 1);
   }
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  Node& node(std::uint32_t idx) {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
+
+  void push_entry(TimeNs t, std::uintptr_t payload) {
+    FCC_CHECK_MSG(t >= now_, "cannot schedule into the past: " << t << " < "
+                                                               << now_);
+    const HeapEntry e{t, next_seq_++, payload};
+    // Invariant: staging_ is only non-empty while sorted_run_ and heap_ are
+    // both empty (no pop can intervene without flushing first), so staged
+    // events always have smaller seq than anything later pushed on the heap.
+    if (sorted_run_.empty() && heap_.empty()) {
+      staging_.push_back(e);
+    } else {
+      heap_.push_back(e);
+      sift_up(heap_.size() - 1);
+    }
+  }
+
+  /// Sorts the staged bulk (descending) so it drains back-to-front.
+  void flush_staging() {
+    if (staging_.empty()) return;
+    FCC_DCHECK(sorted_run_.empty());
+    sorted_run_.swap(staging_);
+    if (sorted_run_.size() > 1) {
+      std::sort(sorted_run_.begin(), sorted_run_.end(),
+                [](const HeapEntry& a, const HeapEntry& b) {
+                  return before(b, a);
+                });
+    }
+  }
+
+  /// Takes a pooled node off the free list (or grows the slab). The caller
+  /// owns it until its entry is queued via push_entry.
+  std::uint32_t alloc_node() {
+    if (!free_.empty()) {
+      const std::uint32_t idx = free_.back();
+      free_.pop_back();
+      return idx;
+    }
+    if (next_node_ >> kChunkShift == chunks_.size()) {
+      chunks_.push_back(std::make_unique_for_overwrite<Node[]>(kChunkSize));
+    }
+    return static_cast<std::uint32_t>(next_node_++);
+  }
+
+  /// True iff entry `a` fires before entry `b` ((time, seq) total order).
+  /// Branch-free: inside the sift loops this comparison is a data-dependent
+  /// coin flip, and a mispredicted branch costs more than the arithmetic.
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    return static_cast<int>(a.t < b.t) |
+           (static_cast<int>(a.t == b.t) & static_cast<int>(a.seq < b.seq));
+  }
+
+  void sift_up(std::size_t i) {
+    const HeapEntry e = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kHeapArity;
+      if (!before(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  /// Removes the root with the bottom-up "hole" strategy (what libstdc++'s
+  /// __adjust_heap does for std::priority_queue): walk the hole to a leaf
+  /// choosing the min child at each level — no early-exit compare against
+  /// the relocated tail — then drop the tail in and sift it up, which
+  /// terminates almost immediately because the tail came from the bottom.
+  void pop_root() {
+    const std::size_t size = heap_.size() - 1;  // entries after the pop
+    std::size_t hole = 0;
+    std::size_t child = 1;
+    while (child < size) {
+      const std::size_t last =
+          child + kHeapArity < size ? child + kHeapArity : size;
+      std::size_t best = child;
+      for (std::size_t c = child + 1; c < last; ++c) {
+        best = before(heap_[c], heap_[best]) ? c : best;
+      }
+      heap_[hole] = heap_[best];
+      hole = best;
+      child = hole * kHeapArity + 1;
+    }
+    if (hole != size) {
+      heap_[hole] = heap_[size];
+      sift_up(hole);
+    }
+    heap_.pop_back();
+  }
+
+  /// True iff the next event in (time, seq) order sits in heap_ rather
+  /// than sorted_run_. Pre: staging flushed, not idle.
+  bool next_is_heap() const {
+    if (sorted_run_.empty()) return true;
+    if (heap_.empty()) return false;
+    return before(heap_.front(), sorted_run_.back());
+  }
+
+  /// Next event in (time, seq) order, or nullptr when idle. Flushes the
+  /// staging tier; the pointer is invalidated by any schedule or step.
+  const HeapEntry* peek() {
+    flush_staging();
+    if (sorted_run_.empty() && heap_.empty()) return nullptr;
+    return next_is_heap() ? &heap_.front() : &sorted_run_.back();
+  }
+
+  void step() {
+    flush_staging();
+    HeapEntry top;
+    if (next_is_heap()) {
+      top = heap_.front();
+      pop_root();
+    } else {
+      top = sorted_run_.back();
+      sorted_run_.pop_back();
+    }
+    FCC_DCHECK(top.t >= now_);
+    now_ = top.t;
+    fire(top);
+  }
+
+  void fire(const HeapEntry& top) {
+    if (is_resume(top.payload)) {
+      std::coroutine_handle<>::from_address(
+          reinterpret_cast<void*>(top.payload & ~std::uintptr_t{1}))
+          .resume();
+    } else {
+      // The callback runs in place (nodes have stable addresses, and
+      // anything it schedules takes other nodes); recycle afterwards.
+      const std::uint32_t idx = node_index(top.payload);
+      Node& n = node(idx);
+      n.run_and_dispose(n.buf);
+      free_.push_back(idx);
+    }
+  }
+
+  std::vector<HeapEntry> staging_;     // unsorted bulk (engine was empty)
+  std::vector<HeapEntry> sorted_run_;  // staged bulk, sorted descending
+  std::vector<HeapEntry> heap_;        // d-ary heap for mid-drain schedules
+  std::vector<std::uint32_t> free_;    // recycled node indices
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  std::size_t next_node_ = 0;
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 0;
   int live_tasks_ = 0;

@@ -2,7 +2,9 @@
 //
 // All wakeups are funneled through the engine's event queue (never direct
 // handle.resume() from a notifier), so wake order is deterministic and a
-// notifier's stack never nests a resumed process.
+// notifier's stack never nests a resumed process. Every wakeup uses the
+// engine's resume fast path (`schedule_resume_after`): no callable object,
+// no allocation.
 #pragma once
 
 #include <coroutine>
@@ -31,7 +33,7 @@ class OneShot {
     if (set_) return;
     set_ = true;
     for (auto h : waiters_) {
-      engine_.schedule_after(0, [h] { h.resume(); });
+      engine_.schedule_resume_after(0, h);
     }
     waiters_.clear();
   }
@@ -59,6 +61,10 @@ class OneShot {
 /// predicate in a loop:
 ///
 ///   while (!ready()) co_await cond.wait();
+///
+/// Prefer a targeted primitive where the predicate is known at the notifier
+/// (shmem::FlagArray threshold waiters, shmem::World::quiet): broadcasting
+/// costs one no-op resume event per unsatisfied waiter per notify.
 class Condition {
  public:
   explicit Condition(Engine& e) : engine_(e) {}
@@ -70,7 +76,7 @@ class Condition {
 
   void notify_all() {
     for (auto h : waiters_) {
-      engine_.schedule_after(0, [h] { h.resume(); });
+      engine_.schedule_resume_after(0, h);
     }
     waiters_.clear();
   }
@@ -94,6 +100,8 @@ class Condition {
 
 /// Counting semaphore with FIFO handoff (a released permit goes to the
 /// longest-waiting process, not back to the pool, so no waiter starves).
+/// Already a targeted wakeup: release() resumes exactly one waiter, whose
+/// permit is in hand — no re-check loop.
 class Semaphore {
  public:
   Semaphore(Engine& e, std::int64_t initial) : engine_(e), count_(initial) {
@@ -125,7 +133,7 @@ class Semaphore {
     if (!waiters_.empty()) {
       auto h = waiters_.front();
       waiters_.pop_front();
-      engine_.schedule_after(0, [h] { h.resume(); });
+      engine_.schedule_resume_after(0, h);
     } else {
       ++count_;
     }

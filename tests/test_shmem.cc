@@ -58,6 +58,30 @@ TEST(WgDoneMask, DoubleSetThrows) {
   EXPECT_THROW(m.set_and_check_last(0), std::logic_error);
 }
 
+TEST(WgDoneMask, WideMasksExposeEveryWordNotJustTheFirst) {
+  // 130 WGs span three words; completion and per-bit bookkeeping must see
+  // all of them (mask() used to silently truncate to word 0).
+  const int wgs = 130;
+  WgDoneMask m(wgs);
+  for (int wg = 0; wg < wgs - 1; ++wg) {
+    EXPECT_FALSE(m.set_and_check_last(wg));
+  }
+  EXPECT_TRUE(m.set_and_check_last(wgs - 1));
+  ASSERT_EQ(m.words().size(), 3u);
+  EXPECT_EQ(m.words()[0], ~std::uint64_t{0});
+  EXPECT_EQ(m.words()[1], ~std::uint64_t{0});
+  EXPECT_EQ(m.words()[2], 0x3ull);  // bits 128..129
+}
+
+TEST(WgDoneMask, SingleWordViewRefusesToTruncate) {
+  WgDoneMask narrow(64);
+  narrow.set_and_check_last(63);
+  EXPECT_EQ(narrow.mask(), std::uint64_t{1} << 63);
+  WgDoneMask wide(65);
+  EXPECT_THROW(wide.mask(), std::logic_error);
+  EXPECT_EQ(wide.words().size(), 2u);
+}
+
 sim::Task flag_waiter(sim::Engine& e, FlagArray& f, PeId pe, std::size_t i,
                       TimeNs& woke_at) {
   co_await f.wait_ge(pe, i, 1);
@@ -96,6 +120,62 @@ TEST(FlagArray, AddAccumulates) {
   EXPECT_EQ(flags.add(0, 0, 1), 1u);
   EXPECT_EQ(flags.add(0, 0, 1), 2u);
   EXPECT_EQ(flags.read(0, 0), 2u);
+}
+
+sim::Task threshold_waiter(sim::Engine& e, FlagArray& f, std::uint64_t thr,
+                           TimeNs& woke_at) {
+  co_await f.wait_ge(0, 0, thr);
+  woke_at = e.now();
+}
+
+sim::Task counter_ticker(sim::Engine& e, FlagArray& f, int ticks,
+                         TimeNs period) {
+  for (int i = 0; i < ticks; ++i) {
+    co_await sim::delay(e, period);
+    f.add(0, 0, 1);
+  }
+}
+
+TEST(FlagArray, WakeupsAreTargetedToSatisfiedThresholdsOnly) {
+  // An arrival counter ticking up must wake each threshold waiter exactly
+  // when its own predicate first holds — never earlier (the old broadcast
+  // protocol woke everyone on every tick and let them re-check).
+  gpu::Machine m(one_node_four_gpus());
+  FlagArray flags(m.engine(), m.num_pes(), 1);
+  TimeNs woke1 = -1, woke3 = -1, woke5 = -1;
+  threshold_waiter(m.engine(), flags, 5, woke5);  // registered first
+  threshold_waiter(m.engine(), flags, 1, woke1);
+  threshold_waiter(m.engine(), flags, 3, woke3);
+  counter_ticker(m.engine(), flags, 5, 100);
+  EXPECT_EQ(flags.num_waiters(0, 0), 3u);
+  m.engine().run();
+  EXPECT_EQ(woke1, 100);
+  EXPECT_EQ(woke3, 300);
+  EXPECT_EQ(woke5, 500);
+  EXPECT_EQ(flags.num_waiters(0, 0), 0u);
+  EXPECT_EQ(m.engine().live_tasks(), 0);
+}
+
+TEST(FlagArray, SimultaneouslySatisfiedWaitersWakeInRegistrationOrder) {
+  // A single jump past several thresholds resumes the satisfied waiters in
+  // the order they registered (matching the old broadcast resume order),
+  // not threshold order.
+  gpu::Machine m(one_node_four_gpus());
+  FlagArray flags(m.engine(), m.num_pes(), 1);
+  std::vector<int> order;
+  struct Recorder {
+    static sim::Task wait(sim::Engine&, FlagArray& f, std::uint64_t thr,
+                          int id, std::vector<int>& order) {
+      co_await f.wait_ge(0, 0, thr);
+      order.push_back(id);
+    }
+  };
+  Recorder::wait(m.engine(), flags, 4, /*id=*/0, order);  // high thr first
+  Recorder::wait(m.engine(), flags, 2, /*id=*/1, order);
+  Recorder::wait(m.engine(), flags, 3, /*id=*/2, order);
+  flags.set(0, 0, 10);
+  m.engine().run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
 sim::Task put_driver(sim::Engine& e, World& w, PeId src, PeId dst, Bytes n,

@@ -1,0 +1,236 @@
+// Determinism regression suite for the simulation core.
+//
+// The engine's contract is bit-reproducibility: events fire in (time,
+// insertion-sequence) order, so a given workload produces exactly one
+// simulated timeline. The golden numbers below were recorded from the seed
+// engine (std::priority_queue + Condition broadcast wakeups); any engine or
+// wakeup-protocol rewrite must reproduce them exactly — host-side speed may
+// change, simulated nanoseconds may not.
+//
+// The traces intentionally mix operators on one engine (gemv_allreduce and
+// moe_dispatch under 4x expert skew interleave their events) so that any
+// change in same-time event ordering, wakeup targeting, or heap pop order
+// shifts at least one recorded timestamp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+#include "common/perf_json.h"
+#include "fused/embedding_a2a.h"
+#include "fused/gemv_allreduce.h"
+#include "fused/moe_dispatch.h"
+#include "gpu/machine.h"
+#include "shmem/world.h"
+#include "sim/task.h"
+#include "sweep_runner.h"
+
+namespace fcc {
+namespace {
+
+/// Everything observable about one simulation that depends on the full
+/// event cascade: end-to-end times, per-PE completion stamps, per-device
+/// busy time, and the PUT count.
+struct TimingTrace {
+  TimeNs final_now = 0;
+  std::int64_t puts = 0;
+  std::vector<TimeNs> op_end;             // per spawned operator
+  std::vector<std::vector<TimeNs>> pe_end;  // per operator, per PE
+  std::vector<TimeNs> busy;               // per device busy_ns
+
+  bool operator==(const TimingTrace&) const = default;
+
+  std::string str() const {
+    std::ostringstream os;
+    os << "final_now=" << final_now << " puts=" << puts << "\n";
+    for (std::size_t i = 0; i < op_end.size(); ++i) {
+      os << "op" << i << " end=" << op_end[i] << " pe_end={";
+      for (auto t : pe_end[i]) os << t << ",";
+      os << "}\n";
+    }
+    os << "busy={";
+    for (auto b : busy) os << b << ",";
+    os << "}";
+    return os.str();
+  }
+};
+
+sim::Task spawn_op(sim::Engine&, fused::FusedOp& op) { co_await op.run(); }
+
+TimingTrace collect(gpu::Machine& m, shmem::World& w,
+                    std::vector<fused::FusedOp*> ops) {
+  for (auto* op : ops) spawn_op(m.engine(), *op);
+  m.engine().run();
+  EXPECT_EQ(m.engine().live_tasks(), 0);
+  TimingTrace tr;
+  tr.final_now = m.engine().now();
+  tr.puts = w.puts_issued();
+  for (auto* op : ops) {
+    tr.op_end.push_back(op->result().end);
+    tr.pe_end.push_back(op->result().pe_end);
+  }
+  for (PeId pe = 0; pe < m.num_pes(); ++pe) {
+    tr.busy.push_back(m.device(pe).busy_ns());
+  }
+  return tr;
+}
+
+/// gemv_allreduce and moe_dispatch (4x hot expert) sharing one engine.
+TimingTrace mixed_workload() {
+  gpu::Machine::Config mc;
+  mc.num_nodes = 1;
+  mc.gpus_per_node = 4;
+  gpu::Machine m(mc);
+  shmem::World w(m);
+
+  fused::GemvAllReduceConfig gcfg;
+  gcfg.m = 2048;
+  gcfg.k_global = 4096;
+  gcfg.functional = false;
+
+  fused::MoeDispatchConfig dcfg;
+  dcfg.tokens_per_pe = 256;
+  dcfg.d_model = 512;
+  dcfg.d_out = 512;
+  dcfg.hot_expert_factor = 4.0;
+  dcfg.functional = false;
+
+  fused::FusedGemvAllReduce gemv(w, gcfg, nullptr);
+  fused::FusedMoeDispatch moe(w, dcfg, nullptr);
+  return collect(m, w, {&gemv, &moe});
+}
+
+/// Baselines under the same mixing (collective paths, Semaphore/quiet).
+TimingTrace mixed_baselines() {
+  gpu::Machine::Config mc;
+  mc.num_nodes = 1;
+  mc.gpus_per_node = 4;
+  gpu::Machine m(mc);
+  shmem::World w(m);
+
+  fused::GemvAllReduceConfig gcfg;
+  gcfg.m = 2048;
+  gcfg.k_global = 4096;
+  gcfg.functional = false;
+
+  fused::MoeDispatchConfig dcfg;
+  dcfg.tokens_per_pe = 256;
+  dcfg.d_model = 512;
+  dcfg.d_out = 512;
+  dcfg.hot_expert_factor = 4.0;
+  dcfg.functional = false;
+
+  fused::BaselineGemvAllReduce gemv(w, gcfg, nullptr);
+  fused::BaselineMoeDispatch moe(w, dcfg, nullptr);
+  return collect(m, w, {&gemv, &moe});
+}
+
+/// Cross-node embedding+A2A (RDMA path, persistent KernelRun, sliceRdy).
+TimingTrace internode_embedding() {
+  gpu::Machine::Config mc;
+  mc.num_nodes = 2;
+  mc.gpus_per_node = 1;
+  gpu::Machine m(mc);
+  shmem::World w(m);
+
+  fused::EmbeddingA2AConfig cfg;
+  cfg.map.num_pes = 2;
+  cfg.map.tables_per_pe = 16;
+  cfg.map.global_batch = 128;
+  cfg.map.dim = 64;
+  cfg.map.vectors_per_slice = 8;
+  cfg.pooling = 16;
+  cfg.functional = false;
+
+  fused::FusedEmbeddingAllToAll emb(w, cfg, nullptr);
+  return collect(m, w, {&emb});
+}
+
+// Golden traces recorded from the seed engine. FCC_GOLDEN markers below are
+// grep anchors for re-recording (print the actual on mismatch).
+
+TEST(SimDeterminism, MixedFusedWorkloadMatchesSeedEngine) {
+  const TimingTrace t = mixed_workload();
+  TimingTrace g;
+  // FCC_GOLDEN mixed_fused
+  g.final_now = 253715;
+  g.puts = 4320;
+  g.op_end = {20422, 253715};
+  g.pe_end = {{18122, 18272, 18422, 17743}, {251715, 251715, 251715, 251715}};
+  g.busy = {18635861, 18640478, 18640207, 18639987};
+  EXPECT_EQ(t, g) << "actual:\n" << t.str();
+}
+
+TEST(SimDeterminism, MixedBaselineWorkloadMatchesSeedEngine) {
+  const TimingTrace t = mixed_baselines();
+  TimingTrace g;
+  // FCC_GOLDEN mixed_baseline
+  g.final_now = 260195;
+  g.puts = 0;
+  g.op_end = {34995, 260195};
+  g.pe_end = {{34995, 34995, 34995, 34995}, {260195, 260195, 260195, 260195}};
+  g.busy = {14941483, 14941483, 14941483, 14941483};
+  EXPECT_EQ(t, g) << "actual:\n" << t.str();
+}
+
+TEST(SimDeterminism, InternodeEmbeddingMatchesSeedEngine) {
+  const TimingTrace t = internode_embedding();
+  TimingTrace g;
+  // FCC_GOLDEN internode_embedding
+  g.final_now = 73040;
+  g.puts = 512;
+  g.op_end = {73040};
+  g.pe_end = {{71040, 71040}};
+  g.busy = {3313923, 3313923};
+  EXPECT_EQ(t, g) << "actual:\n" << t.str();
+}
+
+TEST(SimDeterminism, RepeatedRunsAreBitIdentical) {
+  EXPECT_EQ(mixed_workload(), mixed_workload());
+  EXPECT_EQ(internode_embedding(), internode_embedding());
+}
+
+/// One thread-pool sweep point: an independent moe_dispatch simulation.
+TimeNs sweep_point(int i) {
+  gpu::Machine::Config mc;
+  mc.num_nodes = 1;
+  mc.gpus_per_node = 4;
+  gpu::Machine m(mc);
+  shmem::World w(m);
+  fused::MoeDispatchConfig cfg;
+  cfg.tokens_per_pe = 128;
+  cfg.d_model = 256;
+  cfg.d_out = 256;
+  cfg.hot_expert_factor = 1.0 + i;
+  cfg.functional = false;
+  fused::FusedMoeDispatch op(w, cfg, nullptr);
+  return op.run_to_completion().duration();
+}
+
+TEST(SweepRunner, ParallelSweepRowsEqualSerialRows) {
+  setenv("FCC_BENCH_OUT", "/tmp/fcc_test_sweep_out", 1);
+  const int n = 6;
+  setenv("FCC_SWEEP_THREADS", "1", 1);
+  const auto serial = fccbench::run_sweep<TimeNs>(
+      "test_sweep_serial", n, [](int i) { return sweep_point(i); });
+  setenv("FCC_SWEEP_THREADS", "4", 1);
+  const auto parallel = fccbench::run_sweep<TimeNs>(
+      "test_sweep_parallel", n, [](int i) { return sweep_point(i); });
+  EXPECT_EQ(serial, parallel);
+  for (TimeNs t : serial) EXPECT_GT(t, 0);
+  // Both sweeps recorded their host-throughput sections.
+  PerfJson perf;
+  ASSERT_TRUE(perf.load("/tmp/fcc_test_sweep_out/host_perf.json"));
+  EXPECT_TRUE(perf.has("test_sweep_serial"));
+  EXPECT_TRUE(perf.has("test_sweep_parallel"));
+  EXPECT_DOUBLE_EQ(perf.get("test_sweep_parallel", "threads"), 4.0);
+  unsetenv("FCC_SWEEP_THREADS");
+  unsetenv("FCC_BENCH_OUT");
+  std::filesystem::remove_all("/tmp/fcc_test_sweep_out");
+}
+
+}  // namespace
+}  // namespace fcc

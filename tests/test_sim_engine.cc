@@ -1,6 +1,9 @@
 // Engine semantics: time monotonicity, same-time FIFO, coroutine tracking.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/co.h"
@@ -150,6 +153,127 @@ TEST(Co, DeepNestingCompletes) {
   e.run();
   EXPECT_TRUE(done);
   EXPECT_EQ(e.now(), 1);
+}
+
+TEST(Engine, MixedStagingAndMidDrainSchedulesPopInGlobalOrder) {
+  // Bulk-staged events (scheduled while the engine is empty) and events
+  // scheduled from inside callbacks (mid-drain, heap path) must interleave
+  // in exact (time, seq) order.
+  Engine e;
+  std::vector<int> seen;
+  e.schedule_at(10, [&] {
+    seen.push_back(1);
+    e.schedule_at(15, [&] { seen.push_back(2); });  // lands in the heap
+    e.schedule_at(40, [&] { seen.push_back(5); });
+  });
+  e.schedule_at(20, [&] { seen.push_back(3); });  // staged
+  e.schedule_at(30, [&] { seen.push_back(4); });  // staged
+  EXPECT_EQ(e.run(), 5u);
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Engine, SameTimeOrderHoldsAcrossStagingAndHeap) {
+  Engine e;
+  std::vector<int> seen;
+  e.schedule_at(5, [&] {
+    seen.push_back(0);
+    // Same-time events scheduled mid-drain fire after the already-staged
+    // ones at t=5 (larger insertion sequence), in their own schedule order.
+    e.schedule_at(5, [&] { seen.push_back(3); });
+    e.schedule_at(5, [&] { seen.push_back(4); });
+  });
+  e.schedule_at(5, [&] { seen.push_back(1); });
+  e.schedule_at(5, [&] { seen.push_back(2); });
+  e.run();
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, PooledNodesAreRecycledAcrossWaves) {
+  Engine e;
+  long sink = 0;
+  for (int wave = 0; wave < 50; ++wave) {
+    for (int i = 0; i < 100; ++i) {
+      e.schedule_after(i, [&sink] { ++sink; });
+    }
+    e.run();
+  }
+  EXPECT_EQ(sink, 50 * 100);
+  // The slab never grows past one wave's worth of simultaneously-pending
+  // callbacks: freed nodes are reused, not abandoned.
+  EXPECT_LE(e.slab_nodes(), 100u);
+}
+
+TEST(Engine, PendingCountsAllTiers) {
+  Engine e;
+  e.schedule_at(1, [] {});
+  e.schedule_at(2, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.run_until(1);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, RunUntilHonorsDeadlineAcrossTiers) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(10, [&] {
+    ++count;
+    e.schedule_at(20, [&] { ++count; });  // heap path
+    e.schedule_at(60, [&] { ++count; });
+  });
+  e.schedule_at(50, [&] { ++count; });  // staged
+  EXPECT_EQ(e.run_until(50), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(e.now(), 50);
+  e.run();
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Engine, LargeCallbacksFallBackToTheHeapPath) {
+  // A callable bigger than the node's inline buffer still works (one heap
+  // allocation, API unchanged).
+  Engine e;
+  std::array<std::uint64_t, 16> big{};  // 128 bytes captured by value
+  big[15] = 42;
+  std::uint64_t out = 0;
+  e.schedule_at(1, [big, &out] { out = big[15]; });
+  e.run();
+  EXPECT_EQ(out, 42u);
+}
+
+TEST(Engine, DestructorReleasesUnfiredCallbacks) {
+  // Scheduled-but-never-run callables (both inline and heap-fallback) are
+  // destroyed with the engine; shared_ptr use counts prove it.
+  auto tracer = std::make_shared<int>(7);
+  std::weak_ptr<int> weak = tracer;
+  {
+    Engine e;
+    e.schedule_at(5, [t = tracer] { (void)t; });
+    std::array<std::uint64_t, 16> big{};
+    e.schedule_at(6, [t = tracer, big] { (void)t; (void)big; });
+    tracer.reset();
+    EXPECT_FALSE(weak.expired());
+  }
+  EXPECT_TRUE(weak.expired());
+}
+
+Task resume_hop(Engine& e, int& hops) {
+  for (int i = 0; i < 3; ++i) {
+    co_await delay(e, 7);
+    ++hops;
+  }
+}
+
+TEST(Engine, ResumeFastPathAdvancesTimeLikeAnyEvent) {
+  Engine e;
+  int hops = 0;
+  resume_hop(e, hops);
+  e.run();
+  EXPECT_EQ(hops, 3);
+  EXPECT_EQ(e.now(), 21);
+  // Bare-handle resume events never take a pooled callback node.
+  EXPECT_EQ(e.slab_nodes(), 0u);
 }
 
 TEST(Determinism, TwoIdenticalRunsProduceIdenticalLogs) {

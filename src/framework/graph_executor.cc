@@ -1,0 +1,145 @@
+#include "framework/graph_executor.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.h"
+#include "fused/op_runtime.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace fcc::fw {
+
+TimeNs GraphResult::sum_durations() const {
+  TimeNs sum = 0;
+  for (const auto& n : nodes) sum += n.result.duration();
+  return sum;
+}
+
+double GraphResult::overlap_fraction() const {
+  const TimeNs sum = sum_durations();
+  if (sum <= 0) return 0.0;
+  const double frac =
+      1.0 - static_cast<double>(makespan()) / static_cast<double>(sum);
+  return frac > 0.0 ? frac : 0.0;
+}
+
+namespace {
+
+/// Per-node runtime state. The operator is built by run() *before* any
+/// driver is spawned — factory failures (SpecTypeError from a mis-typed
+/// config, a null return) must throw catchably from run(), not inside a
+/// sim::Task coroutine whose unhandled_exception is std::terminate.
+/// Construction has no engine side effects, so prebuild cannot move a
+/// timestamp; the op is dropped as soon as its result is harvested.
+struct NodeState {
+  explicit NodeState(sim::Engine& e) : done(e) {}
+
+  sim::OneShot done;
+  std::unique_ptr<fused::FusedOp> op;
+  NodeRunResult res;
+};
+
+/// Driver process for one node: await deps, spawn, harvest.
+sim::Task node_proc(sim::Engine& engine, const GraphNode& node, NodeState& st,
+                    std::vector<std::unique_ptr<NodeState>>& states) {
+  for (int d : node.deps) {
+    co_await states[static_cast<std::size_t>(d)]->done.wait();
+  }
+  st.res.ready = engine.now();
+  co_await st.op->spawn().wait();
+  st.res.result = st.op->result();
+  st.op.reset();
+  st.done.set();
+}
+
+}  // namespace
+
+GraphExecutor::GraphExecutor(const Graph& graph, const OpRegistry& registry)
+    : graph_(graph), registry_(registry) {}
+
+GraphResult GraphExecutor::run(shmem::World& world, Backend backend) {
+  auto& engine = world.machine().engine();
+  const int n = graph_.num_nodes();
+
+  // Validate and build every operator before anything is scheduled: an
+  // unrewritten pattern node fails registry lookup here with the full
+  // registered-op list, and a factory unpacking a mis-typed spec throws
+  // SpecTypeError here, catchably — never from inside a driver coroutine.
+  std::vector<std::unique_ptr<NodeState>> states;
+  states.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) states.push_back(std::make_unique<NodeState>(engine));
+  for (int i = 0; i < n; ++i) {
+    const GraphNode& node = graph_.node(i);
+    if (node.fused_away) continue;
+    for (int d : node.deps) {
+      FCC_CHECK_MSG(!graph_.node(d).fused_away,
+                    "graph node '" << node.label
+                                   << "' depends on a fused-away node");
+    }
+    NodeState& st = *states[static_cast<std::size_t>(i)];
+    st.op = registry_.at(node.spec.name).make(world, node.spec, backend);
+    FCC_CHECK_MSG(st.op != nullptr,
+                  "factory for op '" << node.spec.name << "' returned null");
+  }
+
+  GraphResult out;
+  out.start = engine.now();
+  for (int i = 0; i < n; ++i) {
+    const GraphNode& node = graph_.node(i);
+    if (node.fused_away) continue;
+    NodeState& st = *states[static_cast<std::size_t>(i)];
+    st.res.node = i;
+    st.res.op = node.spec.name;
+    st.res.label = node.label;
+    st.res.fused_from = node.fused_from;
+    node_proc(engine, node, st, states);
+  }
+  engine.run();
+
+  std::vector<int> unfinished;
+  for (int i = 0; i < n; ++i) {
+    if (!graph_.node(i).fused_away &&
+        !states[static_cast<std::size_t>(i)]->done.is_set()) {
+      unfinished.push_back(i);
+    }
+  }
+  if (!unfinished.empty()) {
+    std::ostringstream os;
+    os << "graph deadlocked; unfinished nodes: [";
+    for (std::size_t k = 0; k < unfinished.size(); ++k) {
+      os << (k ? ", " : "") << graph_.node(unfinished[k]).label;
+    }
+    os << "] (" << engine.live_tasks() << " tasks suspended)";
+    // Suspended driver frames still reference the node states; leak them
+    // (the engine-wide deadlock policy — frames go with the process) so
+    // ~OneShot never fires with parked waiters during unwinding.
+    for (auto& st : states) (void)st.release();
+    throw std::logic_error(os.str());
+  }
+  FCC_CHECK_MSG(engine.live_tasks() == 0,
+                "graph drained but " << engine.live_tasks()
+                                     << " tasks still suspended");
+
+  out.end = out.start;
+  std::vector<TimeNs> cp(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    const GraphNode& node = graph_.node(i);
+    if (node.fused_away) continue;
+    const NodeRunResult& res = states[static_cast<std::size_t>(i)]->res;
+    TimeNs longest_dep = 0;
+    for (int d : node.deps) {
+      longest_dep = std::max(longest_dep, cp[static_cast<std::size_t>(d)]);
+    }
+    cp[static_cast<std::size_t>(i)] = longest_dep + res.result.duration();
+    out.critical_path_ns =
+        std::max(out.critical_path_ns, cp[static_cast<std::size_t>(i)]);
+    out.end = std::max(out.end, res.result.end);
+    out.nodes.push_back(res);
+  }
+  return out;
+}
+
+}  // namespace fcc::fw

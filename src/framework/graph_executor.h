@@ -1,0 +1,70 @@
+// Concurrent topological executor for fw::Graph.
+//
+// Every node whose dependencies are satisfied runs immediately: the
+// executor builds each node's operator through the registry factory up
+// front (so factory/type errors throw catchably), then spawns one driver
+// process per node which awaits its deps' completion events and
+// `FusedOp::spawn()`s it — so independent nodes (layer N+1's embedding
+// dispatch, layer N's MLP) genuinely interleave their simulated kernels,
+// PUTs and flag traffic on one engine, exactly like the mixed-operator
+// determinism workloads. A single engine drain completes the whole graph;
+// per-node OperatorResults, the critical path, and the achieved overlap
+// fraction come back in a GraphResult.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "framework/graph.h"
+#include "fused/result.h"
+#include "shmem/world.h"
+
+namespace fcc::fw {
+
+/// One scheduled node's outcome.
+struct NodeRunResult {
+  int node = -1;           // node id in the executed (lowered) graph
+  std::string op;          // registry op dispatched
+  std::string label;
+  std::string fused_from;  // unfused pattern if the rewrite pass built it
+  TimeNs ready = 0;        // when the last dependency completed
+  fused::OperatorResult result;
+};
+
+struct GraphResult {
+  std::vector<NodeRunResult> nodes;  // live nodes, graph order
+  TimeNs start = 0;
+  TimeNs end = 0;
+  /// Longest dependency chain through the executed nodes, by measured op
+  /// duration — the lower bound any scheduler can reach.
+  TimeNs critical_path_ns = 0;
+  /// Pattern pairs collapsed by Session::run's rewrite pass (0 when the
+  /// executor was handed an already-lowered graph).
+  int rewrites = 0;
+
+  TimeNs makespan() const { return end - start; }
+  TimeNs sum_durations() const;
+  /// Fraction of total op time hidden by inter-op overlap:
+  /// 1 - makespan/sum_durations. 0 for an empty graph or a pure chain.
+  double overlap_fraction() const;
+};
+
+class GraphExecutor {
+ public:
+  /// The graph must outlive the executor. Pattern nodes left unrewritten
+  /// surface as the registry's unknown-op error (with the registered-op
+  /// list) when run() validates the graph.
+  explicit GraphExecutor(const Graph& graph,
+                         const OpRegistry& registry = OpRegistry::global());
+
+  /// Runs every live node on `world`'s engine and drains to completion.
+  /// Throws if the graph deadlocks (a node never became ready).
+  GraphResult run(shmem::World& world, Backend backend);
+
+ private:
+  const Graph& graph_;
+  const OpRegistry& registry_;
+};
+
+}  // namespace fcc::fw

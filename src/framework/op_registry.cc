@@ -1,8 +1,44 @@
 #include "framework/op_registry.h"
 
+#include <sstream>
+#include <stdexcept>
+
 #include "common/check.h"
 
 namespace fcc::fw {
+
+namespace detail {
+
+std::string spec_type_error_msg(const std::string& op, const char* slot,
+                                const char* held, const char* expected) {
+  std::ostringstream os;
+  os << "op '" << op << "': spec " << slot << " holds '" << held
+     << "' but the factory expects '" << expected << "'";
+  return os.str();
+}
+
+}  // namespace detail
+
+std::vector<std::string> parse_replaces_pattern(const std::string& replaces) {
+  // Strip an optional trailing parenthesized note: "A + B (note)" -> "A + B".
+  std::string body = replaces;
+  const auto paren = body.find(" (");
+  if (paren != std::string::npos) body.erase(paren);
+  while (!body.empty() && body.back() == ' ') body.pop_back();
+
+  const std::string sep = " + ";
+  const auto plus = body.find(sep);
+  if (plus == std::string::npos || plus == 0) return {};
+  const std::string producer = body.substr(0, plus);
+  const std::string consumer = body.substr(plus + sep.size());
+  if (consumer.empty() || consumer.find(sep) != std::string::npos) return {};
+  return {producer, consumer};
+}
+
+std::vector<std::string> OpEntry::unfused_pattern() const {
+  if (!pattern.empty()) return pattern;
+  return parse_replaces_pattern(replaces);
+}
 
 OpRegistry& OpRegistry::global() {
   static OpRegistry registry;
@@ -23,7 +59,19 @@ bool OpRegistry::contains(const std::string& name) const {
 
 const OpEntry& OpRegistry::at(const std::string& name) const {
   auto it = ops_.find(name);
-  FCC_CHECK_MSG(it != ops_.end(), "unknown op: " << name);
+  if (it == ops_.end()) {
+    // Spell out what *is* registered: a typo'd or unregistered name is the
+    // most common dispatch failure, and the fix is usually in this list.
+    std::ostringstream os;
+    os << "unknown op: '" << name << "'; registered ops: [";
+    bool first = true;
+    for (const auto& kv : ops_) {  // std::map: already sorted by name
+      os << (first ? "" : ", ") << kv.first;
+      first = false;
+    }
+    os << "]";
+    throw std::logic_error(os.str());
+  }
   return it->second;
 }
 

@@ -36,6 +36,26 @@ struct OpSpec {
   std::any data;  // empty, or a Data* for the operator's data struct
 };
 
+/// Thrown by spec_config / spec_data when an OpSpec carries the wrong
+/// config/data type for the factory unpacking it. Derives from
+/// std::bad_any_cast (the error it wraps) but names the offending op and
+/// the types involved instead of the bare "bad any_cast".
+class SpecTypeError : public std::bad_any_cast {
+ public:
+  explicit SpecTypeError(std::string msg) : msg_(std::move(msg)) {}
+  const char* what() const noexcept override { return msg_.c_str(); }
+
+ private:
+  std::string msg_;
+};
+
+/// Builds an OpSpec carrying `config` *by value*: the config is moved into
+/// the spec's std::any here, and every subsequent OpSpec copy (Graph nodes
+/// store specs by value; registry dispatch passes them around) copies the
+/// config with it. Configs are small POD-ish structs by convention — keep
+/// them cheap to copy and put bulky tensors behind the Data* payload, which
+/// is carried as a raw pointer and never deep-copied (the caller owns the
+/// pointee and must keep it alive across the run).
 template <typename Config>
 OpSpec make_spec(std::string name, Config config) {
   OpSpec spec;
@@ -51,17 +71,37 @@ OpSpec make_spec(std::string name, Config config, Data* data) {
   return spec;
 }
 
-/// Typed accessors for factories unpacking an OpSpec. Throw
-/// std::bad_any_cast if the spec carries the wrong config/data type.
+namespace detail {
+/// Formats the SpecTypeError message ("op 'x': spec config holds 'A' but
+/// the factory expects 'B'"); out of line so the template stays slim.
+std::string spec_type_error_msg(const std::string& op, const char* slot,
+                                const char* held, const char* expected);
+}  // namespace detail
+
+/// Typed accessors for factories unpacking an OpSpec. Throw SpecTypeError
+/// (a std::bad_any_cast naming the op) if the spec carries the wrong
+/// config/data type.
 template <typename Config>
 const Config& spec_config(const OpSpec& spec) {
-  return std::any_cast<const Config&>(spec.config);
+  const Config* cfg = std::any_cast<Config>(&spec.config);
+  if (cfg == nullptr) {
+    throw SpecTypeError(detail::spec_type_error_msg(
+        spec.name, "config",
+        spec.config.has_value() ? spec.config.type().name() : "(empty)",
+        typeid(Config).name()));
+  }
+  return *cfg;
 }
 
 template <typename Data>
 Data* spec_data(const OpSpec& spec) {
   if (!spec.data.has_value()) return nullptr;
-  return std::any_cast<Data*>(spec.data);
+  Data* const* data = std::any_cast<Data*>(&spec.data);
+  if (data == nullptr) {
+    throw SpecTypeError(detail::spec_type_error_msg(
+        spec.name, "data", spec.data.type().name(), typeid(Data*).name()));
+  }
+  return *data;
 }
 
 /// PEs every smoke spec targets (one scale-up node, Table I).
@@ -74,19 +114,36 @@ inline gpu::Machine::Config smoke_machine_config() {
   return c;
 }
 
-/// Operator-registry entry: name, the op pattern a graph pass would
-/// rewrite, and the factory building either backend variant.
+/// Operator-registry entry: name, the op pattern the graph rewrite pass
+/// collapses into this op, and the factory building either backend variant.
 struct OpEntry {
   using Factory = std::function<std::unique_ptr<fused::FusedOp>(
       shmem::World&, const OpSpec&, Backend)>;
 
   std::string name;
-  std::string replaces;  // the op pattern a graph pass would rewrite
+  /// Human-readable unfused pattern this op fuses, "producer + consumer"
+  /// with an optional trailing "(note)". fw::rewrite_fused parses this via
+  /// unfused_pattern() unless `pattern` is set explicitly.
+  std::string replaces;
   Factory make = nullptr;
   /// Optional: a small timing-only spec runnable on smoke_machine_config(),
   /// for registry-wide sweeps (fused-vs-baseline smoke tests, CI).
   std::function<OpSpec()> smoke_spec = nullptr;
+  /// Structured rewrite metadata: the exact node-name sequence
+  /// {producer, consumer} the graph rewrite pass matches. Built-in operator
+  /// TUs set it explicitly; when empty, unfused_pattern() falls back to
+  /// parsing `replaces`.
+  std::vector<std::string> pattern = {};
+
+  /// The producer/consumer node names this op rewrites, or empty if the
+  /// entry declares no usable pattern (e.g. a free-text `replaces` that is
+  /// not "A + B"-shaped).
+  std::vector<std::string> unfused_pattern() const;
 };
+
+/// Parses a `replaces` doc string of the form "A + B" or "A + B (note)"
+/// into {"A", "B"}; returns empty for anything else.
+std::vector<std::string> parse_replaces_pattern(const std::string& replaces);
 
 class OpRegistry {
  public:

@@ -7,4 +7,14 @@ fused::OperatorResult Session::run(const OpSpec& spec, Backend backend,
   return registry.run(spec, world_, backend);
 }
 
+GraphResult Session::run(const Graph& graph, Backend backend,
+                         const OpRegistry& registry) {
+  Graph lowered = graph;
+  const int rewrites = rewrite_fused(lowered, registry);
+  GraphExecutor executor(lowered, registry);
+  GraphResult result = executor.run(world_, backend);
+  result.rewrites = rewrites;
+  return result;
+}
+
 }  // namespace fcc::fw

@@ -10,6 +10,8 @@
 
 #include <memory>
 
+#include "framework/graph.h"
+#include "framework/graph_executor.h"
 #include "framework/op_registry.h"
 #include "gpu/machine.h"
 #include "shmem/sym_array.h"
@@ -40,6 +42,14 @@ class Session {
   fused::OperatorResult run(const OpSpec& spec,
                             Backend backend = Backend::kFused,
                             const OpRegistry& registry = OpRegistry::global());
+
+  /// Runs a whole multi-op program: applies the fused-rewrite pass to a
+  /// copy of `graph` (pattern nodes collapse into registered fused ops),
+  /// then schedules every dependency-satisfied node concurrently via
+  /// GraphExecutor. Independent nodes overlap; a pure chain times exactly
+  /// like the equivalent sequence of blocking run() calls.
+  GraphResult run(const Graph& graph, Backend backend = Backend::kFused,
+                  const OpRegistry& registry = OpRegistry::global());
 
  private:
   gpu::Machine machine_;

@@ -459,6 +459,9 @@ const fw::OpRegistrar embedding_a2a_registrar{{
           cfg.functional = false;
           return fw::make_spec("fcc::embedding_a2a", cfg);
         },
+    // Graph rewrite: pooling node (carries the EmbeddingA2AConfig) feeding
+    // a bare all_to_all collapses into this op.
+    .pattern = {"aten::embedding_bag", "c10d::all_to_all"},
 }};
 
 }  // namespace

@@ -263,6 +263,9 @@ const fw::OpRegistrar gemm_a2a_registrar{{
           cfg.functional = false;
           return fw::make_spec("fcc::gemm_a2a", cfg);
         },
+    // Graph rewrite: expert GEMM (carries the GemmA2AConfig) feeding a bare
+    // all_to_all collapses into this op (MoE combine direction).
+    .pattern = {"aten::mm", "c10d::all_to_all"},
 }};
 
 }  // namespace

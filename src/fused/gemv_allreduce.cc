@@ -396,6 +396,9 @@ const fw::OpRegistrar gemv_allreduce_registrar{{
           cfg.functional = false;
           return fw::make_spec("fcc::gemv_allreduce", cfg);
         },
+    // Graph rewrite: row-parallel GEMV (carries the GemvAllReduceConfig)
+    // feeding a bare all_reduce collapses into this op.
+    .pattern = {"aten::mv", "c10d::all_reduce"},
 }};
 
 }  // namespace

@@ -516,6 +516,9 @@ const fw::OpRegistrar moe_dispatch_registrar{{
           cfg.functional = false;
           return fw::make_spec("fcc::moe_dispatch", cfg);
         },
+    // Graph rewrite: routed GEMM (carries the MoeDispatchConfig) feeding a
+    // bare uneven-splits all_to_all_single collapses into this op.
+    .pattern = {"aten::mm", "c10d::all_to_all_single"},
 }};
 
 }  // namespace

@@ -89,14 +89,25 @@ sim::Co FusedOp::run_per_pe(int num_pes, std::function<sim::Co(PeId)> body) {
   co_await done.wait();
 }
 
+sim::OneShot& FusedOp::spawn() {
+  FCC_CHECK_MSG(completion_ == nullptr || completion_->is_set(),
+                name() << " spawned while a previous run is in flight");
+  completion_ = std::make_unique<sim::OneShot>(engine());
+  struct Driver {
+    static sim::Task go(sim::Engine&, FusedOp& op, sim::OneShot& done) {
+      co_await op.run();
+      done.set();
+    }
+  };
+  Driver::go(engine(), *this, *completion_);
+  return *completion_;
+}
+
 OperatorResult FusedOp::run_to_completion() {
   auto& eng = engine();
-  struct Driver {
-    static sim::Task go(sim::Engine&, FusedOp& op) { co_await op.run(); }
-  };
-  Driver::go(eng, *this);
+  sim::OneShot& done = spawn();
   eng.run();
-  FCC_CHECK_MSG(eng.live_tasks() == 0,
+  FCC_CHECK_MSG(done.is_set() && eng.live_tasks() == 0,
                 name() << " deadlocked: " << eng.live_tasks()
                        << " tasks suspended");
   return result_;

@@ -118,9 +118,18 @@ class FusedOp {
   /// One full execution; fills `result()`.
   virtual sim::Co run() = 0;
 
-  /// Spawns `run()` as an engine task and drains the engine — the single
-  /// driver behind every operator (benches running one op at a time).
-  /// Throws if the simulation deadlocks (tasks still suspended).
+  /// Spawns `run()` as a detached engine task and returns the completion
+  /// event, set the instant the run finishes. The caller either drains the
+  /// engine itself or `co_await`s the event from another process on the
+  /// same engine — this is how fw::GraphExecutor runs several operators
+  /// concurrently and collects per-op completions. One in-flight run per
+  /// operator instance at a time; the event stays valid until the next
+  /// spawn() or the operator's destruction.
+  sim::OneShot& spawn();
+
+  /// Spawns `run()` and drains the engine — the blocking single-op driver
+  /// (Session::run, benches running one op at a time), now a wrapper over
+  /// spawn(). Throws if the simulation deadlocks (tasks still suspended).
   OperatorResult run_to_completion();
 
   const OperatorResult& result() const { return result_; }
@@ -148,6 +157,10 @@ class FusedOp {
 
   shmem::World& world_;
   OperatorResult result_;
+
+ private:
+  /// Completion event of the in-flight (or last) spawn(); see spawn().
+  std::unique_ptr<sim::OneShot> completion_;
 };
 
 /// Every PE of the machine, in id order (ccl communicator construction).

@@ -12,6 +12,9 @@ struct OperatorResult {
   TimeNs end = 0;
   std::vector<TimeNs> pe_end;  // per-PE completion (skew studies, Fig. 14)
 
+  /// Field-wise equality (golden-trace tests compare whole results).
+  bool operator==(const OperatorResult&) const = default;
+
   TimeNs duration() const { return end - start; }
 
   /// Relative completion spread across PEs: (latest - earliest) / span.

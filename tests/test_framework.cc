@@ -121,6 +121,20 @@ TEST(Registry, WrongConfigTypeThrowsBadAnyCast) {
                std::bad_any_cast);
 }
 
+TEST(Registry, WrongConfigTypeErrorNamesTheOp) {
+  fused::GemvAllReduceConfig cfg;
+  cfg.functional = false;
+  Session s(smoke_machine_config());
+  try {
+    s.run(make_spec("fcc::embedding_a2a", cfg), Backend::kFused);
+    FAIL() << "expected SpecTypeError";
+  } catch (const std::bad_any_cast& e) {  // SpecTypeError is-a bad_any_cast
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("fcc::embedding_a2a"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("config"), std::string::npos) << msg;
+  }
+}
+
 TEST(Registry, WrongDataTypeThrowsBadAnyCast) {
   fused::GemvAllReduceConfig cfg;
   cfg.m = 2048;
@@ -133,6 +147,24 @@ TEST(Registry, WrongDataTypeThrowsBadAnyCast) {
       s.run(make_spec("fcc::gemv_allreduce", cfg, &not_gemv_data),
             Backend::kFused),
       std::bad_any_cast);
+}
+
+TEST(Registry, WrongDataTypeErrorNamesTheOp) {
+  fused::GemvAllReduceConfig cfg;
+  cfg.m = 2048;
+  cfg.k_global = 2048;
+  cfg.functional = false;
+  int not_gemv_data = 0;
+  Session s(smoke_machine_config());
+  try {
+    s.run(make_spec("fcc::gemv_allreduce", cfg, &not_gemv_data),
+          Backend::kFused);
+    FAIL() << "expected SpecTypeError";
+  } catch (const std::bad_any_cast& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("fcc::gemv_allreduce"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("data"), std::string::npos) << msg;
+  }
 }
 
 }  // namespace

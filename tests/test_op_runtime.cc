@@ -174,6 +174,51 @@ TEST(FusedOpDriver, RunToCompletionDrivesAndFillsResult) {
   EXPECT_EQ(res2.duration(), 1234);
 }
 
+TEST(FusedOpDriver, SpawnReturnsAwaitableCompletionPerOp) {
+  gpu::Machine::Config cfg;
+  cfg.num_nodes = 1;
+  cfg.gpus_per_node = 2;
+  gpu::Machine machine(cfg);
+  shmem::World world(machine);
+
+  // Two ops in flight on one engine: the executor pattern. Each spawn
+  // returns its own completion event; one drain finishes both.
+  DelayOp fast(world, 100);
+  DelayOp slow(world, 900);
+  auto& fast_done = fast.spawn();
+  auto& slow_done = slow.spawn();
+  EXPECT_FALSE(fast_done.is_set());
+  EXPECT_FALSE(slow_done.is_set());
+
+  machine.engine().run();
+  EXPECT_TRUE(fast_done.is_set());
+  EXPECT_TRUE(slow_done.is_set());
+  EXPECT_EQ(machine.engine().live_tasks(), 0);
+  // Both started at t=0 — they genuinely overlapped.
+  EXPECT_EQ(fast.result().start, 0);
+  EXPECT_EQ(slow.result().start, 0);
+  EXPECT_EQ(fast.result().end, 100);
+  EXPECT_EQ(slow.result().end, 900);
+}
+
+TEST(FusedOpDriver, SpawnWhileInFlightThrows) {
+  gpu::Machine::Config cfg;
+  cfg.num_nodes = 1;
+  cfg.gpus_per_node = 2;
+  gpu::Machine machine(cfg);
+  shmem::World world(machine);
+
+  DelayOp op(world, 100);
+  op.spawn();
+  EXPECT_THROW(op.spawn(), std::logic_error);
+  machine.engine().run();
+  // Completed: spawning again is legal.
+  auto& again = op.spawn();
+  machine.engine().run();
+  EXPECT_TRUE(again.is_set());
+  EXPECT_EQ(op.result().start, 100);
+}
+
 // ---------------------------------------------------------------------------
 // OperatorResult::skew
 // ---------------------------------------------------------------------------

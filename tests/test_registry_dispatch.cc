@@ -76,6 +76,28 @@ TEST(GlobalRegistry, UnknownNameThrows) {
                std::logic_error);
 }
 
+TEST(GlobalRegistry, UnknownNameErrorListsRegisteredOpsSorted) {
+  Session s(smoke_machine_config());
+  try {
+    s.run(make_spec("fcc::no_such_op", 0), Backend::kFused);
+    FAIL() << "expected unknown-op error";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("fcc::no_such_op"), std::string::npos) << msg;
+    // Every built-in appears, in sorted order.
+    const std::vector<std::string> builtins = {
+        "fcc::embedding_a2a", "fcc::gemm_a2a", "fcc::gemv_allreduce",
+        "fcc::moe_dispatch"};
+    std::size_t prev = 0;
+    for (const auto& name : builtins) {
+      const auto pos = msg.find(name);
+      ASSERT_NE(pos, std::string::npos) << name << " missing from: " << msg;
+      EXPECT_GT(pos, prev) << msg;
+      prev = pos;
+    }
+  }
+}
+
 TEST(GlobalRegistry, DuplicateRegistrationThrows) {
   auto& reg = OpRegistry::global();
   ASSERT_TRUE(reg.contains("fcc::gemv_allreduce"));

@@ -17,6 +17,18 @@ Communicator::Communicator(gpu::Machine& machine, std::vector<PeId> members)
   for (PeId pe : members_) {
     FCC_CHECK(pe >= 0 && pe < machine_.num_pes());
   }
+  std::vector<std::vector<int>> by_node(
+      static_cast<std::size_t>(machine_.num_nodes()));
+  for (int r = 0; r < size(); ++r) {
+    by_node[static_cast<std::size_t>(machine_.node_of(pe(r)))].push_back(r);
+  }
+  for (auto& node : by_node) {
+    if (!node.empty()) groups_.by_node.push_back(std::move(node));
+  }
+  groups_.uniform = true;
+  for (const auto& node : groups_.by_node) {
+    if (node.size() != groups_.by_node.front().size()) groups_.uniform = false;
+  }
 }
 
 TimeNs Communicator::reduce_cost(Bytes bytes) const {
@@ -25,6 +37,173 @@ TimeNs Communicator::reduce_cost(Bytes bytes) const {
   const auto& dev = machine_.device(members_.front());
   const double bw = dev.hbm().total_bandwidth(dev.spec().max_wg_slots());
   return static_cast<TimeNs>(static_cast<double>(bytes) / bw + 0.5);
+}
+
+AllReduceAlgo Communicator::select_allreduce() const {
+  const NodeGroups& g = groups_;
+  if (g.by_node.size() > 1 && g.uniform && g.by_node.front().size() > 1) {
+    return AllReduceAlgo::kHierarchical;
+  }
+  return AllReduceAlgo::kTwoPhaseDirect;
+}
+
+AllToAllAlgo Communicator::select_a2a() const {
+  const NodeGroups& g = groups_;
+  if (g.by_node.size() > 1 && g.uniform && g.by_node.front().size() > 1) {
+    return AllToAllAlgo::kNodeAggregate;
+  }
+  return AllToAllAlgo::kPairwise;
+}
+
+TimeNs Communicator::flat_direct_time(std::int64_t n_elems, TimeNs t0) {
+  const int n = size();
+  // Phase 1 (reduce-scatter): rank r owns chunk r; every peer pushes its
+  // copy of chunk r to rank r.
+  const std::int64_t chunk = (n_elems + n - 1) / n;
+  const Bytes chunk_bytes = elems_to_bytes(chunk);
+  std::vector<TimeNs> phase1(static_cast<std::size_t>(n), t0);
+  for (int dst = 0; dst < n; ++dst) {
+    for (int src = 0; src < n; ++src) {
+      if (src == dst) continue;
+      const TimeNs d =
+          machine_.remote_write_time(pe(src), pe(dst), chunk_bytes, t0);
+      phase1[static_cast<std::size_t>(dst)] =
+          std::max(phase1[static_cast<std::size_t>(dst)], d);
+    }
+  }
+  // Reduce the n incoming copies of the owned chunk.
+  for (int r = 0; r < n; ++r) {
+    phase1[static_cast<std::size_t>(r)] +=
+        reduce_cost(chunk_bytes * (n - 1) + chunk_bytes);
+  }
+  // Phase 2 (all-gather): each rank broadcasts its reduced chunk.
+  std::vector<TimeNs> done(static_cast<std::size_t>(n), t0);
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      const TimeNs d = machine_.remote_write_time(
+          pe(src), pe(dst), chunk_bytes, phase1[static_cast<std::size_t>(src)]);
+      done[static_cast<std::size_t>(dst)] =
+          std::max(done[static_cast<std::size_t>(dst)], d);
+    }
+    done[static_cast<std::size_t>(src)] =
+        std::max(done[static_cast<std::size_t>(src)],
+                 phase1[static_cast<std::size_t>(src)]);
+  }
+  TimeNs end = t0;
+  for (int r = 0; r < n; ++r) {
+    end = std::max(end, done[static_cast<std::size_t>(r)]);
+  }
+  return end;
+}
+
+TimeNs Communicator::flat_ring_time(std::int64_t n_elems, TimeNs t0) {
+  const int n = size();
+  // Ring: N-1 reduce-scatter steps + N-1 all-gather steps; each step
+  // moves one chunk per rank to its neighbour. Steps are modeled with a
+  // step barrier (the slowest link paces the ring anyway).
+  const std::int64_t chunk = (n_elems + n - 1) / n;
+  const Bytes chunk_bytes = elems_to_bytes(chunk);
+  TimeNs step_start = t0;
+  for (int step = 0; step < 2 * (n - 1); ++step) {
+    TimeNs step_end = step_start;
+    for (int r = 0; r < n; ++r) {
+      const int next = (r + 1) % n;
+      TimeNs d = machine_.remote_write_time(pe(r), pe(next), chunk_bytes,
+                                            step_start);
+      if (step < n - 1) d += reduce_cost(2 * chunk_bytes);
+      step_end = std::max(step_end, d);
+    }
+    step_start = step_end;
+  }
+  return step_start;
+}
+
+TimeNs Communicator::hierarchical_allreduce_time(std::int64_t n_elems,
+                                                 TimeNs t0) {
+  const NodeGroups& groups = groups_;
+  FCC_CHECK_MSG(groups.uniform && groups.by_node.size() > 1 &&
+                    groups.by_node.front().size() > 1,
+                "hierarchical AllReduce needs >1 node with equal, >1 member "
+                "counts; use a flat algorithm for this span");
+  const int g = static_cast<int>(groups.by_node.front().size());
+  const int nodes = static_cast<int>(groups.by_node.size());
+  const std::int64_t chunk = (n_elems + g - 1) / g;  // per-lane shard
+  const Bytes chunk_bytes = elems_to_bytes(chunk);
+
+  // Stage A — intra-node reduce-scatter: lane l of each node ends owning
+  // the node-local sum of shard l. Direct peer pushes over the scale-up
+  // fabric, then the local reduction of g copies.
+  std::vector<std::vector<TimeNs>> stage_a(
+      static_cast<std::size_t>(nodes),
+      std::vector<TimeNs>(static_cast<std::size_t>(g), t0));
+  for (int k = 0; k < nodes; ++k) {
+    const auto& node = groups.by_node[static_cast<std::size_t>(k)];
+    for (int l = 0; l < g; ++l) {
+      TimeNs arrive = t0;
+      for (int s = 0; s < g; ++s) {
+        if (s == l) continue;
+        arrive = std::max(
+            arrive, machine_.remote_write_time(
+                        pe(node[static_cast<std::size_t>(s)]),
+                        pe(node[static_cast<std::size_t>(l)]), chunk_bytes,
+                        t0));
+      }
+      stage_a[static_cast<std::size_t>(k)][static_cast<std::size_t>(l)] =
+          arrive + reduce_cost(chunk_bytes * g);
+    }
+  }
+
+  // Stage B — inter-node ring AllReduce per lane: lane l's shard circles
+  // the nodes in 2(nodes-1) steps of chunk/nodes each, crossing the NIC
+  // (or torus) links only. Each lane's ring is bulk-synchronous.
+  std::vector<TimeNs> stage_b(static_cast<std::size_t>(g), t0);
+  const std::int64_t sub = (chunk + nodes - 1) / nodes;
+  const Bytes sub_bytes = elems_to_bytes(sub);
+  for (int l = 0; l < g; ++l) {
+    TimeNs step_start = t0;
+    for (int k = 0; k < nodes; ++k) {
+      step_start = std::max(
+          step_start,
+          stage_a[static_cast<std::size_t>(k)][static_cast<std::size_t>(l)]);
+    }
+    for (int step = 0; step < 2 * (nodes - 1); ++step) {
+      TimeNs step_end = step_start;
+      for (int k = 0; k < nodes; ++k) {
+        const int next = (k + 1) % nodes;
+        TimeNs d = machine_.remote_write_time(
+            pe(groups.by_node[static_cast<std::size_t>(k)]
+                             [static_cast<std::size_t>(l)]),
+            pe(groups.by_node[static_cast<std::size_t>(next)]
+                             [static_cast<std::size_t>(l)]),
+            sub_bytes, step_start);
+        if (step < nodes - 1) d += reduce_cost(2 * sub_bytes);
+        step_end = std::max(step_end, d);
+      }
+      step_start = step_end;
+    }
+    stage_b[static_cast<std::size_t>(l)] = step_start;
+  }
+
+  // Stage C — intra-node all-gather: each lane broadcasts its now fully
+  // reduced shard to its local peers.
+  TimeNs end = t0;
+  for (int k = 0; k < nodes; ++k) {
+    const auto& node = groups.by_node[static_cast<std::size_t>(k)];
+    for (int dst = 0; dst < g; ++dst) {
+      TimeNs done = stage_b[static_cast<std::size_t>(dst)];
+      for (int src = 0; src < g; ++src) {
+        if (src == dst) continue;
+        done = std::max(
+            done, machine_.remote_write_time(
+                      pe(node[static_cast<std::size_t>(src)]),
+                      pe(node[static_cast<std::size_t>(dst)]), chunk_bytes,
+                      stage_b[static_cast<std::size_t>(src)]));
+      }
+      end = std::max(end, done);
+    }
+  }
+  return end;
 }
 
 sim::Co Communicator::all_reduce(std::int64_t n_elems, FloatBufs bufs,
@@ -38,7 +217,8 @@ sim::Co Communicator::all_reduce(std::int64_t n_elems, FloatBufs bufs,
   co_await sim::delay(machine_.engine(), kSwOverheadNs);
   const TimeNs t0 = machine_.engine().now();
 
-  // Functional result: elementwise sum across ranks, written to every rank.
+  // Functional result: elementwise sum across ranks, written to every rank
+  // (algorithm-independent).
   if (bufs.functional()) {
     FCC_CHECK(static_cast<int>(bufs.per_rank.size()) == n);
     std::vector<float> sum(static_cast<std::size_t>(n_elems), 0.0f);
@@ -55,75 +235,160 @@ sim::Co Communicator::all_reduce(std::int64_t n_elems, FloatBufs bufs,
     }
   }
 
+  if (algo == AllReduceAlgo::kAuto) algo = select_allreduce();
   TimeNs end = t0;
-  if (algo == AllReduceAlgo::kTwoPhaseDirect) {
-    // Phase 1 (reduce-scatter): rank r owns chunk r; every peer pushes its
-    // copy of chunk r to rank r.
-    const std::int64_t chunk = (n_elems + n - 1) / n;
-    const Bytes chunk_bytes = elems_to_bytes(chunk);
-    std::vector<TimeNs> phase1(static_cast<std::size_t>(n), t0);
-    for (int dst = 0; dst < n; ++dst) {
-      for (int src = 0; src < n; ++src) {
-        if (src == dst) continue;
-        const TimeNs d =
-            machine_.remote_write_time(pe(src), pe(dst), chunk_bytes, t0);
-        phase1[static_cast<std::size_t>(dst)] =
-            std::max(phase1[static_cast<std::size_t>(dst)], d);
-      }
-    }
-    // Reduce the n incoming copies of the owned chunk.
-    for (int r = 0; r < n; ++r) {
-      phase1[static_cast<std::size_t>(r)] +=
-          reduce_cost(chunk_bytes * (n - 1) + chunk_bytes);
-    }
-    // Phase 2 (all-gather): each rank broadcasts its reduced chunk.
-    std::vector<TimeNs> done(static_cast<std::size_t>(n), t0);
-    for (int src = 0; src < n; ++src) {
-      for (int dst = 0; dst < n; ++dst) {
-        if (src == dst) continue;
-        const TimeNs d = machine_.remote_write_time(
-            pe(src), pe(dst), chunk_bytes, phase1[static_cast<std::size_t>(src)]);
-        done[static_cast<std::size_t>(dst)] =
-            std::max(done[static_cast<std::size_t>(dst)], d);
-      }
-      done[static_cast<std::size_t>(src)] =
-          std::max(done[static_cast<std::size_t>(src)],
-                   phase1[static_cast<std::size_t>(src)]);
-    }
-    for (int r = 0; r < n; ++r) {
-      end = std::max(end, done[static_cast<std::size_t>(r)]);
-    }
-  } else {
-    // Ring: N-1 reduce-scatter steps + N-1 all-gather steps; each step
-    // moves one chunk per rank to its neighbour. Steps are modeled with a
-    // step barrier (the slowest link paces the ring anyway).
-    const std::int64_t chunk = (n_elems + n - 1) / n;
-    const Bytes chunk_bytes = elems_to_bytes(chunk);
-    TimeNs step_start = t0;
-    for (int step = 0; step < 2 * (n - 1); ++step) {
-      TimeNs step_end = step_start;
-      for (int r = 0; r < n; ++r) {
-        const int next = (r + 1) % n;
-        TimeNs d = machine_.remote_write_time(pe(r), pe(next), chunk_bytes,
-                                              step_start);
-        if (step < n - 1) d += reduce_cost(2 * chunk_bytes);
-        step_end = std::max(step_end, d);
-      }
-      step_start = step_end;
-    }
-    end = step_start;
+  switch (algo) {
+    case AllReduceAlgo::kTwoPhaseDirect:
+      end = flat_direct_time(n_elems, t0);
+      break;
+    case AllReduceAlgo::kRing:
+      end = flat_ring_time(n_elems, t0);
+      break;
+    case AllReduceAlgo::kHierarchical:
+      end = hierarchical_allreduce_time(n_elems, t0);
+      break;
+    case AllReduceAlgo::kAuto:
+      break;  // unreachable: resolved above
   }
 
   last_duration_ = end - t0 + kSwOverheadNs;
   co_await sim::delay_until(machine_.engine(), end);
 }
 
+TimeNs Communicator::pairwise_a2a_time(std::int64_t chunk_elems, TimeNs t0) {
+  const int n = size();
+  const Bytes chunk_bytes = elems_to_bytes(chunk_elems);
+  // Pairwise exchange in balanced rounds: round r pairs every source s
+  // with destination (s + r) % n, so each round touches disjoint
+  // egress/ingress ports and rounds pipeline back-to-back (the schedule
+  // RCCL's pairwise All-to-All uses).
+  TimeNs end = t0;
+  for (int round = 1; round < n; ++round) {
+    for (int s = 0; s < n; ++s) {
+      const int d = (s + round) % n;
+      end = std::max(end, machine_.remote_write_time(pe(s), pe(d),
+                                                     chunk_bytes, t0));
+    }
+  }
+  return std::max(end, t0 + reduce_cost(2 * chunk_bytes));  // local copy
+}
+
+TimeNs Communicator::node_aggregate_a2a_time(std::int64_t chunk_elems,
+                                             TimeNs t0) {
+  const NodeGroups& groups = groups_;
+  FCC_CHECK_MSG(groups.uniform && groups.by_node.size() > 1 &&
+                    groups.by_node.front().size() > 1,
+                "node-aggregated All-to-All needs >1 node with equal, >1 "
+                "member counts; use the pairwise schedule for this span");
+  const int g = static_cast<int>(groups.by_node.front().size());
+  const int nodes = static_cast<int>(groups.by_node.size());
+  const Bytes chunk_bytes = elems_to_bytes(chunk_elems);
+  // Remote node r (as seen from any node) is aggregated by local member
+  // r % g: that member gathers the node's traffic for r, ships it as ONE
+  // NIC message of g*g chunks, and the peer aggregator scatters it. The
+  // NIC still carries every byte, but descriptor-processor serialization
+  // drops from g*g messages per node pair to one, and the gather/scatter
+  // legs ride the fast intra-node fabric.
+  auto owner = [&](int remote_node) { return remote_node % g; };
+
+  // Phase 1 — intra-node gather: member s sends to aggregator l the chunks
+  // bound for every node l owns (g destination GPUs per owned node).
+  std::vector<std::vector<TimeNs>> gathered(
+      static_cast<std::size_t>(nodes),
+      std::vector<TimeNs>(static_cast<std::size_t>(g), t0));
+  std::vector<std::int64_t> owned(static_cast<std::size_t>(g), 0);
+  for (int k = 0; k < nodes; ++k) {
+    const auto& node = groups.by_node[static_cast<std::size_t>(k)];
+    std::fill(owned.begin(), owned.end(), 0);
+    for (int r = 0; r < nodes; ++r) {
+      if (r != k) ++owned[static_cast<std::size_t>(owner(r))];
+    }
+    for (int l = 0; l < g; ++l) {
+      const Bytes gather_bytes =
+          owned[static_cast<std::size_t>(l)] * g * chunk_bytes;
+      TimeNs arrive = t0;
+      for (int s = 0; s < g; ++s) {
+        if (s == l || gather_bytes == 0) continue;
+        arrive = std::max(
+            arrive, machine_.remote_write_time(
+                        pe(node[static_cast<std::size_t>(s)]),
+                        pe(node[static_cast<std::size_t>(l)]), gather_bytes,
+                        t0));
+      }
+      gathered[static_cast<std::size_t>(k)][static_cast<std::size_t>(l)] =
+          arrive;
+    }
+  }
+
+  // Phase 2 — inter-node: one aggregated message of g*g chunks per
+  // ordered node pair, aggregator to aggregator.
+  const Bytes pair_bytes = static_cast<Bytes>(g) * g * chunk_bytes;
+  std::vector<std::vector<TimeNs>> landed(
+      static_cast<std::size_t>(nodes),
+      std::vector<TimeNs>(static_cast<std::size_t>(g), t0));
+  for (int k = 0; k < nodes; ++k) {
+    for (int r = 0; r < nodes; ++r) {
+      if (r == k) continue;
+      const int src_rank =
+          groups.by_node[static_cast<std::size_t>(k)]
+                        [static_cast<std::size_t>(owner(r))];
+      const int dst_rank =
+          groups.by_node[static_cast<std::size_t>(r)]
+                        [static_cast<std::size_t>(owner(k))];
+      const TimeNs d = machine_.remote_write_time(
+          pe(src_rank), pe(dst_rank), pair_bytes,
+          gathered[static_cast<std::size_t>(k)]
+                  [static_cast<std::size_t>(owner(r))]);
+      auto& cell = landed[static_cast<std::size_t>(r)]
+                         [static_cast<std::size_t>(owner(k))];
+      cell = std::max(cell, d);
+    }
+  }
+
+  // Phase 3 — intra-node scatter of the received aggregates, plus the
+  // node-local pairwise exchange that never left the fabric.
+  TimeNs end = t0;
+  for (int r = 0; r < nodes; ++r) {
+    const auto& node = groups.by_node[static_cast<std::size_t>(r)];
+    std::fill(owned.begin(), owned.end(), 0);
+    for (int k = 0; k < nodes; ++k) {
+      if (k != r) ++owned[static_cast<std::size_t>(owner(k))];
+    }
+    for (int dst = 0; dst < g; ++dst) {
+      TimeNs done = t0;
+      for (int l = 0; l < g; ++l) {
+        const Bytes scatter_bytes =
+            owned[static_cast<std::size_t>(l)] * g * chunk_bytes;
+        if (scatter_bytes == 0) continue;
+        const TimeNs ready = landed[static_cast<std::size_t>(r)]
+                                   [static_cast<std::size_t>(l)];
+        done = std::max(
+            done, l == dst ? ready + reduce_cost(2 * scatter_bytes)
+                           : machine_.remote_write_time(
+                                 pe(node[static_cast<std::size_t>(l)]),
+                                 pe(node[static_cast<std::size_t>(dst)]),
+                                 scatter_bytes, ready));
+      }
+      // Node-local chunks: direct intra-node exchange.
+      for (int s = 0; s < g; ++s) {
+        if (s == dst) continue;
+        done = std::max(done, machine_.remote_write_time(
+                                  pe(node[static_cast<std::size_t>(s)]),
+                                  pe(node[static_cast<std::size_t>(dst)]),
+                                  chunk_bytes, t0));
+      }
+      done = std::max(done, t0 + reduce_cost(2 * chunk_bytes));
+      end = std::max(end, done);
+    }
+  }
+  return end;
+}
+
 sim::Co Communicator::all_to_all(std::int64_t chunk_elems, FloatBufs send,
-                                 FloatBufs recv) {
+                                 FloatBufs recv, AllToAllAlgo algo) {
   co_await sim::delay(machine_.engine(), kSwOverheadNs);
   const TimeNs t0 = machine_.engine().now();
   const int n = size();
-  const Bytes chunk_bytes = elems_to_bytes(chunk_elems);
 
   if (send.functional()) {
     FCC_CHECK(recv.functional());
@@ -144,19 +409,10 @@ sim::Co Communicator::all_to_all(std::int64_t chunk_elems, FloatBufs send,
     }
   }
 
-  // Pairwise exchange in balanced rounds: round r pairs every source s
-  // with destination (s + r) % n, so each round touches disjoint
-  // egress/ingress ports and rounds pipeline back-to-back (the schedule
-  // RCCL's pairwise All-to-All uses).
-  TimeNs end = t0;
-  for (int round = 1; round < n; ++round) {
-    for (int s = 0; s < n; ++s) {
-      const int d = (s + round) % n;
-      end = std::max(end, machine_.remote_write_time(pe(s), pe(d),
-                                                     chunk_bytes, t0));
-    }
-  }
-  end = std::max(end, t0 + reduce_cost(2 * chunk_bytes));  // local copy
+  if (algo == AllToAllAlgo::kAuto) algo = select_a2a();
+  const TimeNs end = algo == AllToAllAlgo::kNodeAggregate
+                         ? node_aggregate_a2a_time(chunk_elems, t0)
+                         : pairwise_a2a_time(chunk_elems, t0);
   last_duration_ = end - t0 + kSwOverheadNs;
   co_await sim::delay_until(machine_.engine(), end);
 }

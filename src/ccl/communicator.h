@@ -7,6 +7,15 @@
 // Stream (exactly where the real RCCL pays them); the collectives here model
 // data movement.
 //
+// Hierarchy awareness: AllReduce and All-to-All default to kAuto, which
+// inspects the machine topology. A communicator spanning several nodes with
+// several members per node stages through the node boundary — intra-node
+// reduce-scatter, inter-node ring per lane, intra-node all-gather for
+// AllReduce; node-aggregated NIC messages for All-to-All — so the slow
+// inter-node links carry 1/gpus_per_node of the flat algorithms' traffic.
+// Single-node or one-GPU-per-node spans resolve to the flat algorithms
+// unchanged, and the flat variants stay available as explicit opt-ins.
+//
 // Functional mode: pass per-rank float spans; values are verified against
 // references in tests. Timing-only mode: pass empty FloatBufs.
 #pragma once
@@ -23,8 +32,16 @@
 namespace fcc::ccl {
 
 enum class AllReduceAlgo {
+  kAuto,            // topology-selected (see Communicator::select_allreduce)
   kTwoPhaseDirect,  // reduce-scatter + all-gather, direct peer writes [32]
   kRing,            // 2(N-1)-step ring
+  kHierarchical,    // intra-node RS -> inter-node ring per lane -> intra AG
+};
+
+enum class AllToAllAlgo {
+  kAuto,          // topology-selected (see Communicator::select_a2a)
+  kPairwise,      // balanced pairwise rounds (RCCL's flat schedule)
+  kNodeAggregate, // gather per-node traffic, one NIC message per node pair
 };
 
 /// Per-rank float buffers; empty vector means timing-only.
@@ -43,14 +60,23 @@ class Communicator {
   PeId pe(int rank) const { return members_.at(static_cast<std::size_t>(rank)); }
   gpu::Machine& machine() { return machine_; }
 
-  /// In-place sum-AllReduce over `n_elems` fp32 per rank.
+  /// In-place sum-AllReduce over `n_elems` fp32 per rank. The default
+  /// auto-selects from the topology: hierarchical staging when the
+  /// communicator spans several nodes with several members each, the flat
+  /// two-phase direct algorithm otherwise. The flat algorithms remain
+  /// explicit opt-ins.
   sim::Co all_reduce(std::int64_t n_elems, FloatBufs bufs,
-                     AllReduceAlgo algo = AllReduceAlgo::kTwoPhaseDirect);
+                     AllReduceAlgo algo = AllReduceAlgo::kAuto);
+
+  /// Algorithm kAuto resolves to for this communicator's span.
+  AllReduceAlgo select_allreduce() const;
+  AllToAllAlgo select_a2a() const;
 
   /// All-to-All: each rank sends `chunk_elems` fp32 to every rank (including
   /// its own local chunk copy). send/recv layout: rank-major chunks —
   /// send[r] holds N chunks ordered by destination, recv[r] by source.
-  sim::Co all_to_all(std::int64_t chunk_elems, FloatBufs send, FloatBufs recv);
+  sim::Co all_to_all(std::int64_t chunk_elems, FloatBufs send, FloatBufs recv,
+                     AllToAllAlgo algo = AllToAllAlgo::kAuto);
 
   /// ReduceScatter: after completion rank r holds the sum of everyone's
   /// r-th chunk in the first `chunk_elems` of its buffer.
@@ -109,8 +135,26 @@ class Communicator {
   /// Time to reduce `bytes` through HBM at device-aggregate bandwidth.
   TimeNs reduce_cost(Bytes bytes) const;
 
+  /// Member rank indices grouped by node, in member order. `uniform` means
+  /// every node contributes the same number of members — the layout the
+  /// hierarchical algorithms require. Computed once at construction
+  /// (membership is immutable).
+  struct NodeGroups {
+    std::vector<std::vector<int>> by_node;  // only nodes with members
+    bool uniform = false;
+  };
+
+  /// Timing-only bodies of the AllReduce algorithms; the functional sum is
+  /// algorithm-independent and handled by the caller.
+  TimeNs flat_direct_time(std::int64_t n_elems, TimeNs t0);
+  TimeNs flat_ring_time(std::int64_t n_elems, TimeNs t0);
+  TimeNs hierarchical_allreduce_time(std::int64_t n_elems, TimeNs t0);
+  TimeNs pairwise_a2a_time(std::int64_t chunk_elems, TimeNs t0);
+  TimeNs node_aggregate_a2a_time(std::int64_t chunk_elems, TimeNs t0);
+
   gpu::Machine& machine_;
   std::vector<PeId> members_;
+  NodeGroups groups_;
   TimeNs last_duration_ = 0;
 };
 

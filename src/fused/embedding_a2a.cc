@@ -123,7 +123,10 @@ sim::Co FusedEmbeddingAllToAll::pe_kernel_wg(PeId pe, int slot, int lw) {
   const int b = map.wg_sample(lw);
   const PeId dest = map.dest_of_sample(b);
   const bool remote = dest != pe;
-  const bool zero_copy = remote && machine.same_node(pe, dest) && cfg_.zero_copy;
+  const bool zero_copy =
+      remote &&
+      machine.route_class(pe, dest) == hw::RouteClass::kIntraNode &&
+      cfg_.zero_copy;
   // Local outputs and RDMA staging write to HBM; zero-copy remote stores
   // ride the fabric instead (no local write).
   const bool local_write = !zero_copy;
@@ -218,7 +221,10 @@ sim::Co FusedEmbeddingAllToAll::emit_slice_from_slot(PeId pe, int slot,
     co_return;
   }
 
-  const bool same_node = machine.same_node(pe, dest);
+  // Scale-up routes (fabric/switch hops) can be stored to directly; routes
+  // that leave the node take the RDMA descriptor path.
+  const bool same_node =
+      machine.route_class(pe, dest) == hw::RouteClass::kIntraNode;
   if (same_node && cfg_.zero_copy) {
     // Zero-copy scale-up: data already stored per-WG; order the flag behind
     // those stores and set it remotely.

@@ -6,33 +6,48 @@ namespace fcc::gpu {
 
 Machine::Machine(const Config& config)
     : config_(config), trace_(config.collect_trace) {
-  FCC_CHECK(config.num_nodes >= 1);
-  FCC_CHECK(config.gpus_per_node >= 1);
+  FCC_CHECK_MSG(config.num_nodes >= 1,
+                "Machine::Config: num_nodes must be >= 1, got "
+                    << config.num_nodes);
+  FCC_CHECK_MSG(config.gpus_per_node >= 1,
+                "Machine::Config: gpus_per_node must be >= 1, got "
+                    << config.gpus_per_node);
+  FCC_CHECK_MSG(config.gpu.num_cus >= 1 && config.gpu.max_wgs_per_cu >= 1,
+                "Machine::Config: GPU must have positive CU/WG-slot counts");
+  FCC_CHECK_MSG(config.gpu.hbm_bytes_per_ns > 0,
+                "Machine::Config: HBM bandwidth must be positive, got "
+                    << config.gpu.hbm_bytes_per_ns);
+  FCC_CHECK_MSG(config.gpu.fp32_flops_per_ns > 0,
+                "Machine::Config: ALU throughput must be positive, got "
+                    << config.gpu.fp32_flops_per_ns);
+  // Fabric/NIC bandwidths are validated by the topology that actually
+  // instantiates them (a torus never builds a NIC, a switched node never
+  // reads FabricSpec), so an unused spec may legitimately be zeroed.
   const int pes = config.num_nodes * config.gpus_per_node;
   devices_.reserve(pes);
   for (PeId pe = 0; pe < pes; ++pe) {
     devices_.push_back(std::make_unique<Device>(engine_, pe, config.gpu));
   }
-  fabrics_.reserve(config.num_nodes);
-  nics_.reserve(config.num_nodes);
-  for (NodeId n = 0; n < config.num_nodes; ++n) {
-    fabrics_.push_back(
-        std::make_unique<hw::Fabric>(config.gpus_per_node, config.fabric));
-    nics_.push_back(
-        std::make_unique<hw::Nic>("node" + std::to_string(n), config.ib));
-  }
+  topology_ = hw::make_topology(config.topology, config.num_nodes,
+                                config.gpus_per_node, config.fabric,
+                                config.ib);
 }
 
 TimeNs Machine::remote_write_time(PeId src, PeId dst, Bytes bytes,
                                   TimeNs ready) {
   FCC_CHECK(src >= 0 && src < num_pes());
   FCC_CHECK(dst >= 0 && dst < num_pes());
-  if (src == dst) return ready;  // local store: charged as compute, not comm
-  if (same_node(src, dst)) {
-    return fabric(node_of(src))
-        .transfer(local_index(src), local_index(dst), bytes, ready);
+  if (src == dst) {
+    // Self-PUT fast path: a local copy through HBM (read + write at the
+    // device's aggregate bandwidth). It must never reserve fabric link
+    // time — the bytes never leave the die.
+    if (bytes == 0) return ready;
+    const auto& dev = device(src);
+    const double bw = dev.hbm().total_bandwidth(dev.spec().max_wg_slots());
+    return ready +
+           static_cast<TimeNs>(2.0 * static_cast<double>(bytes) / bw + 0.5);
   }
-  return nic(node_of(src)).post(ready, bytes);
+  return topology_->write_time(src, dst, bytes, ready);
 }
 
 }  // namespace fcc::gpu

@@ -1,8 +1,11 @@
-// Machine: the full simulated platform (nodes x GPUs, fabric, NICs).
+// Machine: the full simulated platform (nodes x GPUs, interconnect).
 //
-// Owns the event engine, one Device per PE, one Fabric per node, and one
-// NIC per node. The shmem and collective layers route every byte through
-// `remote_write_time`, so intra- vs inter-node paths share one entry point.
+// Owns the event engine, one Device per PE, and a pluggable hw::Topology
+// that resolves every (src, dst) pair to a multi-hop route over shared
+// FIFO links. The shmem and collective layers route every byte through
+// `remote_write_time`, so all interconnect paths share one entry point;
+// swapping the fabric (fully-connected, switched node, multi-rail NICs,
+// 2D torus) is a Config change, not a Machine fork.
 #pragma once
 
 #include <memory>
@@ -14,6 +17,7 @@
 #include "hw/fabric.h"
 #include "hw/gpu_spec.h"
 #include "hw/nic.h"
+#include "hw/topology.h"
 #include "sim/engine.h"
 #include "sim/trace.h"
 
@@ -27,6 +31,7 @@ class Machine {
     hw::GpuSpec gpu;
     hw::FabricSpec fabric;
     hw::IbSpec ib;
+    hw::TopologySpec topology;  // fully-connected by default
     bool collect_trace = false;
   };
 
@@ -53,12 +58,34 @@ class Machine {
   }
   bool same_node(PeId a, PeId b) const { return node_of(a) == node_of(b); }
 
-  hw::Fabric& fabric(NodeId node) { return *fabrics_.at(node); }
-  hw::Nic& nic(NodeId node) { return *nics_.at(node); }
+  hw::Topology& topology() { return *topology_; }
+  const hw::Topology& topology() const { return *topology_; }
 
-  /// Time at which `bytes` written by `src` become visible at `dst`,
-  /// when the write is issued at `ready`. Same-node writes ride the fabric;
-  /// cross-node writes ride the source node's NIC.
+  /// Class of the route a (src, dst) write resolves to; upper layers key
+  /// issue costs and channel ordering off this instead of `same_node`.
+  hw::RouteClass route_class(PeId src, PeId dst) const {
+    return topology_->route_class(src, dst);
+  }
+
+  /// Per-node fabric/NIC of topologies that have them (the default
+  /// fully-connected one does); throws for fabrics without the component.
+  hw::Fabric& fabric(NodeId node) {
+    hw::Fabric* f = topology_->node_fabric(node);
+    FCC_CHECK_MSG(f != nullptr, "topology '" << topology_->kind_name()
+                                             << "' has no per-node fabric");
+    return *f;
+  }
+  hw::Nic& nic(NodeId node) {
+    hw::Nic* n = topology_->node_nic(node);
+    FCC_CHECK_MSG(n != nullptr, "topology '" << topology_->kind_name()
+                                             << "' has no per-node NIC");
+    return *n;
+  }
+
+  /// Time at which `bytes` written by `src` become visible at `dst`, when
+  /// the write is issued at `ready`. Self-writes are an HBM-local copy
+  /// (never fabric traffic); everything else reserves the resolved route's
+  /// hop intervals through the topology.
   TimeNs remote_write_time(PeId src, PeId dst, Bytes bytes, TimeNs ready);
 
  private:
@@ -66,8 +93,7 @@ class Machine {
   sim::Engine engine_;
   sim::Trace trace_;
   std::vector<std::unique_ptr<Device>> devices_;
-  std::vector<std::unique_ptr<hw::Fabric>> fabrics_;
-  std::vector<std::unique_ptr<hw::Nic>> nics_;
+  std::unique_ptr<hw::Topology> topology_;
 };
 
 }  // namespace fcc::gpu

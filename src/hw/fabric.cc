@@ -25,14 +25,12 @@ TimeNs Fabric::transfer(int src, int dst, Bytes bytes, TimeNs ready) {
   Link& out = *egress_[src];
   Link& in = *ingress_[dst];
 
-  const TimeNs start =
-      std::max(out.earliest_start(ready), in.earliest_start(ready));
-  const TimeNs end = start + out.occupancy(bytes);
-  out.occupy_interval(start, end);
-  in.occupy_interval(start, end);
+  Link* const hops[] = {&out, &in};
+  const TimeNs delivered =
+      reserve_cut_through(hops, bytes, ready, spec_.latency_ns);
   out.add_bytes(bytes);
   total_bytes_ += bytes;
-  return end + spec_.latency_ns;
+  return delivered;
 }
 
 }  // namespace fcc::hw

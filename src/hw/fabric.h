@@ -31,6 +31,8 @@ class Fabric {
 
   const Link& egress(int port) const { return *egress_.at(port); }
   const Link& ingress(int port) const { return *ingress_.at(port); }
+  Link& egress(int port) { return *egress_.at(port); }
+  Link& ingress(int port) { return *ingress_.at(port); }
 
   /// Total payload bytes moved through the fabric so far.
   Bytes total_bytes() const { return total_bytes_; }

@@ -7,6 +7,7 @@
 // deterministic contention behaviour.
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "common/check.h"
@@ -77,5 +78,28 @@ class Link {
   Bytes total_bytes_ = 0;
   std::int64_t transfers_ = 0;
 };
+
+/// Cut-through reservation across a multi-hop route: all hops are occupied
+/// for one joint serialization window starting when every hop is free (the
+/// head flit cannot advance until the whole wormhole path is claimed), and
+/// the data is delivered one propagation `latency_ns` after the slowest
+/// hop drains. With the two-hop {egress, ingress} route this is exactly
+/// the fully-connected Fabric's historical joint endpoint accounting.
+inline TimeNs reserve_cut_through(std::span<Link* const> hops, Bytes bytes,
+                                  TimeNs ready, TimeNs latency_ns) {
+  FCC_CHECK(!hops.empty());
+  TimeNs start = ready;
+  for (const Link* l : hops) {
+    const TimeNs s = l->earliest_start(ready);
+    if (s > start) start = s;
+  }
+  TimeNs max_occ = 0;
+  for (Link* l : hops) {
+    const TimeNs occ = l->occupancy(bytes);
+    l->occupy_interval(start, start + occ);
+    if (occ > max_occ) max_occ = occ;
+  }
+  return start + max_occ + latency_ns;
+}
 
 }  // namespace fcc::hw

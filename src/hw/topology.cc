@@ -1,0 +1,384 @@
+#include "hw/topology.h"
+
+#include <algorithm>
+#include <string>
+
+namespace fcc::hw {
+
+TimeNs Topology::reserve(const Route& route, Bytes bytes, TimeNs ready) {
+  // Scale-up hops come before the NIC in every fabric here (e.g. a
+  // switched node's uplink feeds the node NIC), so reserve them first;
+  // the NIC then serializes the message off-node.
+  TimeNs t = ready;
+  if (!route.hops.empty()) {
+    t = reserve_cut_through(route.hops, bytes, t, route.latency_ns);
+  } else {
+    t += route.latency_ns;
+  }
+  if (route.nic != nullptr) t = route.nic->post(t, bytes);
+  return t;
+}
+
+TimeNs Topology::write_time(PeId src, PeId dst, Bytes bytes, TimeNs ready) {
+  Route& r = scratch();
+  r.clear();
+  resolve(src, dst, r);
+  return reserve(r, bytes, ready);
+}
+
+// ---------------------------------------------------------------------------
+// FullyConnectedTopology
+
+FullyConnectedTopology::FullyConnectedTopology(int num_nodes,
+                                               int gpus_per_node,
+                                               const FabricSpec& fabric,
+                                               const IbSpec& ib)
+    : Topology(num_nodes, gpus_per_node) {
+  FCC_CHECK_MSG(fabric.port_bytes_per_ns > 0,
+                "FabricSpec: port bandwidth must be positive, got "
+                    << fabric.port_bytes_per_ns);
+  FCC_CHECK_MSG(ib.wire_bytes_per_ns > 0,
+                "IbSpec: wire bandwidth must be positive, got "
+                    << ib.wire_bytes_per_ns);
+  fabrics_.reserve(static_cast<std::size_t>(num_nodes));
+  nics_.reserve(static_cast<std::size_t>(num_nodes));
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    fabrics_.push_back(std::make_unique<Fabric>(gpus_per_node, fabric));
+    nics_.push_back(std::make_unique<Nic>("node" + std::to_string(n), ib));
+  }
+}
+
+void FullyConnectedTopology::resolve(PeId src, PeId dst, Route& route) {
+  route.cls = route_class(src, dst);
+  switch (route.cls) {
+    case RouteClass::kSelf:
+      break;
+    case RouteClass::kIntraNode:
+      add_fabric_hops(*fabrics_[static_cast<std::size_t>(node_of(src))], src,
+                      dst, route);
+      break;
+    case RouteClass::kInterNode:
+      route.nic = nics_[static_cast<std::size_t>(node_of(src))].get();
+      break;
+  }
+}
+
+TimeNs FullyConnectedTopology::write_time(PeId src, PeId dst, Bytes bytes,
+                                          TimeNs ready) {
+  // Fabric::transfer / Nic::post keep their byte and message counters
+  // accurate; both funnel into the same reservation primitives the generic
+  // path uses.
+  if (node_of(src) == node_of(dst)) {
+    return fabrics_[static_cast<std::size_t>(node_of(src))]->transfer(
+        local_index(src), local_index(dst), bytes, ready);
+  }
+  return nics_[static_cast<std::size_t>(node_of(src))]->post(ready, bytes);
+}
+
+// ---------------------------------------------------------------------------
+// SwitchedTopology
+
+SwitchedTopology::SwitchedTopology(int num_nodes, int gpus_per_node,
+                                   const SwitchedSpec& spec, const IbSpec& ib)
+    : Topology(num_nodes, gpus_per_node), spec_(spec) {
+  spec.validate();
+  FCC_CHECK_MSG(ib.wire_bytes_per_ns > 0,
+                "IbSpec: wire bandwidth must be positive, got "
+                    << ib.wire_bytes_per_ns);
+  const int pes = num_pes();
+  up_.reserve(static_cast<std::size_t>(pes));
+  down_.reserve(static_cast<std::size_t>(pes));
+  for (PeId pe = 0; pe < pes; ++pe) {
+    up_.push_back(std::make_unique<Link>("gpu" + std::to_string(pe) + ".up",
+                                         spec.port_bytes_per_ns,
+                                         /*latency_ns=*/0));
+    down_.push_back(std::make_unique<Link>(
+        "gpu" + std::to_string(pe) + ".down", spec.port_bytes_per_ns,
+        /*latency_ns=*/0));
+  }
+  trunk_.reserve(static_cast<std::size_t>(num_nodes));
+  nics_.reserve(static_cast<std::size_t>(num_nodes));
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    trunk_.push_back(
+        spec.trunk_bytes_per_ns > 0
+            ? std::make_unique<Link>("node" + std::to_string(n) + ".trunk",
+                                     spec.trunk_bytes_per_ns,
+                                     /*latency_ns=*/0)
+            : nullptr);
+    nics_.push_back(std::make_unique<Nic>("node" + std::to_string(n), ib));
+  }
+}
+
+void SwitchedTopology::resolve(PeId src, PeId dst, Route& route) {
+  route.cls = route_class(src, dst);
+  switch (route.cls) {
+    case RouteClass::kSelf:
+      break;
+    case RouteClass::kIntraNode: {
+      route.hops.push_back(up_[static_cast<std::size_t>(src)].get());
+      if (Link* t = trunk_[static_cast<std::size_t>(node_of(src))].get()) {
+        route.hops.push_back(t);
+      }
+      route.hops.push_back(down_[static_cast<std::size_t>(dst)].get());
+      route.latency_ns = 2 * spec_.hop_latency_ns;
+      break;
+    }
+    case RouteClass::kInterNode:
+      // Source uplink into the switch, then out through the node NIC.
+      route.hops.push_back(up_[static_cast<std::size_t>(src)].get());
+      route.latency_ns = spec_.hop_latency_ns;
+      route.nic = nics_[static_cast<std::size_t>(node_of(src))].get();
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MultiRailTopology
+
+MultiRailTopology::MultiRailTopology(int num_nodes, int gpus_per_node,
+                                     int rails, const FabricSpec& fabric,
+                                     const IbSpec& ib)
+    : Topology(num_nodes, gpus_per_node), rails_(rails) {
+  FCC_CHECK_MSG(rails >= 1, "MultiRailTopology: nic_rails must be >= 1, got "
+                                << rails);
+  FCC_CHECK_MSG(fabric.port_bytes_per_ns > 0,
+                "FabricSpec: port bandwidth must be positive, got "
+                    << fabric.port_bytes_per_ns);
+  FCC_CHECK_MSG(ib.wire_bytes_per_ns > 0,
+                "IbSpec: wire bandwidth must be positive, got "
+                    << ib.wire_bytes_per_ns);
+  fabrics_.reserve(static_cast<std::size_t>(num_nodes));
+  nics_.reserve(static_cast<std::size_t>(num_nodes) *
+                static_cast<std::size_t>(rails));
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    fabrics_.push_back(std::make_unique<Fabric>(gpus_per_node, fabric));
+    for (int r = 0; r < rails; ++r) {
+      nics_.push_back(std::make_unique<Nic>(
+          "node" + std::to_string(n) + ".rail" + std::to_string(r), ib));
+    }
+  }
+}
+
+void MultiRailTopology::resolve(PeId src, PeId dst, Route& route) {
+  route.cls = route_class(src, dst);
+  switch (route.cls) {
+    case RouteClass::kSelf:
+      break;
+    case RouteClass::kIntraNode:
+      add_fabric_hops(*fabrics_[static_cast<std::size_t>(node_of(src))], src,
+                      dst, route);
+      break;
+    case RouteClass::kInterNode:
+      route.nic = rail(node_of(src), local_index(src) % rails_);
+      break;
+  }
+}
+
+TimeNs MultiRailTopology::write_time(PeId src, PeId dst, Bytes bytes,
+                                     TimeNs ready) {
+  if (node_of(src) == node_of(dst)) {
+    return fabrics_[static_cast<std::size_t>(node_of(src))]->transfer(
+        local_index(src), local_index(dst), bytes, ready);
+  }
+  return rail(node_of(src), local_index(src) % rails_)->post(ready, bytes);
+}
+
+// ---------------------------------------------------------------------------
+// TorusTopology
+
+TorusTopology::TorusTopology(const TorusSpec& spec, int gpus_per_node,
+                             const FabricSpec& fabric)
+    : Topology(spec.num_nodes(), gpus_per_node), spec_(spec) {
+  spec.validate();
+  const int nodes = spec.num_nodes();
+  links_.reserve(static_cast<std::size_t>(nodes) * 4);
+  static const char* kDirName[] = {"+x", "-x", "+y", "-y"};
+  for (NodeId n = 0; n < nodes; ++n) {
+    for (int d = 0; d < 4; ++d) {
+      // A 1-wide dimension has no ring; keep the slot null-free by
+      // allocating anyway (it is simply never routed over).
+      links_.push_back(std::make_unique<Link>(
+          "node" + std::to_string(n) + "." + kDirName[d],
+          spec.link_bytes_per_ns, /*latency_ns=*/0));
+    }
+  }
+  if (gpus_per_node > 1) {
+    FCC_CHECK_MSG(fabric.port_bytes_per_ns > 0,
+                  "FabricSpec: port bandwidth must be positive, got "
+                      << fabric.port_bytes_per_ns);
+    fabrics_.reserve(static_cast<std::size_t>(nodes));
+    for (NodeId n = 0; n < nodes; ++n) {
+      fabrics_.push_back(std::make_unique<Fabric>(gpus_per_node, fabric));
+    }
+  }
+}
+
+namespace {
+
+/// Signed shortest-direction step count around a ring of size `n` from `a`
+/// to `b`: positive means walk +, negative walk -. Distance-n/2 ties split
+/// by source parity so uniform traffic loads both directions evenly.
+int ring_steps(int a, int b, int n, int tie_parity) {
+  int fwd = b - a;
+  if (fwd < 0) fwd += n;
+  const int bwd = n - fwd;
+  if (fwd < bwd) return fwd;
+  if (bwd < fwd) return -bwd;
+  return (tie_parity % 2 == 0) ? fwd : -bwd;  // fwd == bwd == n/2
+}
+
+}  // namespace
+
+int TorusTopology::hop_count(NodeId src, NodeId dst) const {
+  const int sx = node_x(src), sy = node_y(src);
+  const int dx = node_x(dst), dy = node_y(dst);
+  const int hx = std::abs(ring_steps(sx, dx, spec_.dim_x, sx + sy));
+  const int hy = std::abs(ring_steps(sy, dy, spec_.dim_y, sx + sy));
+  return hx + hy;
+}
+
+void TorusTopology::resolve(PeId src, PeId dst, Route& route) {
+  route.cls = route_class(src, dst);
+  switch (route.cls) {
+    case RouteClass::kSelf:
+      break;
+    case RouteClass::kIntraNode:
+      FCC_CHECK_MSG(!fabrics_.empty(),
+                    "torus intra-node route with gpus_per_node == 1");
+      add_fabric_hops(*fabrics_[static_cast<std::size_t>(node_of(src))], src,
+                      dst, route);
+      break;
+    case RouteClass::kInterNode: {
+      // Dimension-ordered: walk the x ring to the destination column, then
+      // the y ring to the destination row.
+      const NodeId sn = node_of(src), dn = node_of(dst);
+      int x = node_x(sn), y = node_y(sn);
+      const int parity = x + y;
+      int steps = ring_steps(x, node_x(dn), spec_.dim_x, parity);
+      while (steps != 0) {
+        const int dir = steps > 0 ? 0 : 1;  // +x / -x
+        route.hops.push_back(link(node_at(x, y), dir));
+        x = (x + (steps > 0 ? 1 : spec_.dim_x - 1)) % spec_.dim_x;
+        steps += steps > 0 ? -1 : 1;
+      }
+      steps = ring_steps(y, node_y(dn), spec_.dim_y, parity);
+      while (steps != 0) {
+        const int dir = steps > 0 ? 2 : 3;  // +y / -y
+        route.hops.push_back(link(node_at(x, y), dir));
+        y = (y + (steps > 0 ? 1 : spec_.dim_y - 1)) % spec_.dim_y;
+        steps += steps > 0 ? -1 : 1;
+      }
+      route.latency_ns =
+          static_cast<TimeNs>(route.hops.size()) * spec_.link_latency_ns;
+      break;
+    }
+  }
+}
+
+TimeNs TorusTopology::a2a_stage(bool along_x, Bytes per_pair, TimeNs start) {
+  const int n = along_x ? spec_.dim_x : spec_.dim_y;
+  if (n <= 1 || per_pair <= 0) return start;
+  // Uniform ring A2A loads every directed link with per_pair * n^2 / 8
+  // bytes (shortest-direction routing, distance-n/2 ties split evenly) —
+  // the same busiest-link load the analytic schedule charges. The flow is
+  // reserved as one drain window per directed link, which on an idle
+  // topology reproduces TorusModel::ring_a2a_stage exactly.
+  const double load = static_cast<double>(per_pair) * n * n / 8.0;
+  const TimeNs dur = static_cast<TimeNs>(load / spec_.link_bytes_per_ns);
+  const int rings = along_x ? spec_.dim_y : spec_.dim_x;
+  TimeNs end = start;
+  for (int ring = 0; ring < rings; ++ring) {
+    for (int i = 0; i < n; ++i) {
+      const NodeId node = along_x ? node_at(i, ring) : node_at(ring, i);
+      for (int dir = along_x ? 0 : 2; dir <= (along_x ? 1 : 3); ++dir) {
+        Link* l = link(node, dir);
+        const TimeNs s = l->earliest_start(start);
+        l->occupy_interval(s, s + dur);
+        l->add_bytes(static_cast<Bytes>(load));
+        end = std::max(end, s + dur);
+      }
+    }
+  }
+  return end + static_cast<TimeNs>(n / 2) * spec_.link_latency_ns;
+}
+
+TimeNs TorusTopology::flow_all_to_all_uniform(Bytes per_pair_bytes,
+                                              TimeNs start) {
+  FCC_CHECK(per_pair_bytes >= 0);
+  if (num_nodes() <= 1 || per_pair_bytes == 0) return start;
+  // Stage 1 moves column-aggregated traffic around the row rings, stage 2
+  // distributes within the column rings (dimension-ordered).
+  const TimeNs s1 =
+      a2a_stage(/*along_x=*/true, per_pair_bytes * spec_.dim_y, start);
+  return a2a_stage(/*along_x=*/false, per_pair_bytes * spec_.dim_x, s1);
+}
+
+TimeNs TorusTopology::ring_phase(bool along_x, double phase_bytes,
+                                 bool forward, TimeNs start) {
+  const int n = along_x ? spec_.dim_x : spec_.dim_y;
+  if (n <= 1) return start;
+  // Ring reduce-scatter / all-gather: n-1 steps of phase_bytes / n per
+  // link, i.e. (n-1)/n * phase_bytes serialized per directed link.
+  const double wire =
+      phase_bytes * (n - 1) / n / spec_.link_bytes_per_ns;
+  const TimeNs dur = static_cast<TimeNs>(wire);
+  const int rings = along_x ? spec_.dim_y : spec_.dim_x;
+  const int dir = along_x ? (forward ? 0 : 1) : (forward ? 2 : 3);
+  TimeNs end = start;
+  for (int ring = 0; ring < rings; ++ring) {
+    for (int i = 0; i < n; ++i) {
+      const NodeId node = along_x ? node_at(i, ring) : node_at(ring, i);
+      Link* l = link(node, dir);
+      const TimeNs s = l->earliest_start(start);
+      l->occupy_interval(s, s + dur);
+      l->add_bytes(static_cast<Bytes>(phase_bytes * (n - 1) / n));
+      end = std::max(end, s + dur);
+    }
+  }
+  return end + static_cast<TimeNs>(n - 1) * spec_.link_latency_ns;
+}
+
+TimeNs TorusTopology::flow_all_reduce(Bytes bytes, TimeNs start) {
+  FCC_CHECK(bytes >= 0);
+  if (num_nodes() <= 1 || bytes == 0) return start;
+  const double b = static_cast<double>(bytes);
+  // Themis-style 2D decomposition: reduce-scatter x with the full payload,
+  // reduce-scatter y with 1/dim_x of it, then the mirrored all-gathers
+  // (reverse direction, so both ring directions carry traffic).
+  TimeNs t = ring_phase(/*along_x=*/true, b, /*forward=*/true, start);
+  t = ring_phase(/*along_x=*/false, b / spec_.dim_x, /*forward=*/true, t);
+  t = ring_phase(/*along_x=*/false, b / spec_.dim_x, /*forward=*/false, t);
+  return ring_phase(/*along_x=*/true, b, /*forward=*/false, t);
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Topology> make_topology(const TopologySpec& spec,
+                                        int num_nodes, int gpus_per_node,
+                                        const FabricSpec& fabric,
+                                        const IbSpec& ib) {
+  switch (spec.kind) {
+    case TopologySpec::Kind::kFullyConnected:
+      return std::make_unique<FullyConnectedTopology>(num_nodes,
+                                                      gpus_per_node, fabric,
+                                                      ib);
+    case TopologySpec::Kind::kSwitchedNode:
+      return std::make_unique<SwitchedTopology>(num_nodes, gpus_per_node,
+                                                spec.switched, ib);
+    case TopologySpec::Kind::kMultiRail:
+      return std::make_unique<MultiRailTopology>(num_nodes, gpus_per_node,
+                                                 spec.nic_rails, fabric, ib);
+    case TopologySpec::Kind::kTorus2D: {
+      FCC_CHECK_MSG(spec.torus.num_nodes() == num_nodes,
+                    "TopologySpec: torus dims "
+                        << spec.torus.dim_x << "x" << spec.torus.dim_y
+                        << " must cover num_nodes=" << num_nodes);
+      return std::make_unique<TorusTopology>(spec.torus, gpus_per_node,
+                                             fabric);
+    }
+  }
+  FCC_CHECK_MSG(false, "unknown topology kind");
+  return nullptr;
+}
+
+}  // namespace fcc::hw

@@ -1,0 +1,337 @@
+// Pluggable interconnect topology: (src PE, dst PE) -> multi-hop Route.
+//
+// Every byte the upper layers move resolves to a `Route`: a sequence of
+// shared FIFO `Link` hops reserved cut-through — one joint serialization
+// window across all hops, exactly the joint egress/ingress accounting the
+// fully-connected fabric always used (see `reserve_cut_through` in link.h)
+// — optionally followed by a NIC (descriptor processor + wire) that takes
+// the message off-node.
+// Concrete fabrics:
+//
+//   FullyConnectedTopology  per-node all-to-all ports + one NIC per node
+//                           (the paper's Table I platform; byte-identical
+//                           to the pre-topology Machine, enforced by the
+//                           golden traces in test_sim_determinism)
+//   SwitchedTopology        per-GPU up/down links into a node switch
+//                           (NVSwitch-class 8-GPU node), optional shared
+//                           crossbar trunk as a bisection cap
+//   MultiRailTopology       fully-connected intra-node + k NIC rails per
+//                           node, rail picked by source GPU affinity
+//   TorusTopology           event-driven 2D torus of nodes with
+//                           dimension-ordered routes; absorbs the analytic
+//                           scaleout::TorusModel's collective schedules as
+//                           aggregate per-link flow reservations
+//
+// A new fabric is one subclass: implement `resolve` (and optionally
+// `write_time` for paths with special accounting) and `make_topology`
+// plumbs it under gpu::Machine unchanged.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "hw/fabric.h"
+#include "hw/gpu_spec.h"
+#include "hw/link.h"
+#include "hw/nic.h"
+
+namespace fcc::hw {
+
+/// Coarse class of a resolved route; upper layers key issue costs and
+/// FIFO-channel ordering off this instead of re-deriving node arithmetic.
+enum class RouteClass {
+  kSelf,       // src == dst: HBM-local copy, never touches the fabric
+  kIntraNode,  // scale-up links only (fabric ports, switch hops)
+  kInterNode,  // leaves the node: NIC descriptor path and/or torus rings
+};
+
+/// A resolved path. `hops` are reserved jointly (cut-through) for one
+/// serialization window; `nic` (when set) then serializes the message
+/// through its descriptor processor and wire to take it off-node.
+struct Route {
+  RouteClass cls = RouteClass::kSelf;
+  Nic* nic = nullptr;
+  std::vector<Link*> hops;
+  TimeNs latency_ns = 0;  // propagation added after the last hop
+
+  void clear() {
+    cls = RouteClass::kSelf;
+    nic = nullptr;
+    hops.clear();
+    latency_ns = 0;
+  }
+};
+
+/// 2D-torus shape (Table II scale-out network: 200 Gb/s, 700 ns hops).
+/// Lives here so both the event-driven TorusTopology and the analytic
+/// cross-check (scaleout::TorusModel) share one validated description.
+struct TorusSpec {
+  int dim_x = 16;
+  int dim_y = 8;
+  double link_bytes_per_ns = 25.0;  // 200 Gb/s
+  TimeNs link_latency_ns = 700;
+
+  int num_nodes() const { return dim_x * dim_y; }
+
+  void validate() const {
+    FCC_CHECK_MSG(dim_x >= 1 && dim_y >= 1,
+                  "TorusSpec: dims must be positive, got " << dim_x << "x"
+                                                           << dim_y);
+    FCC_CHECK_MSG(dim_x * dim_y >= 2,
+                  "TorusSpec: 1x1 torus is degenerate (no links); use a "
+                  "single-node machine instead");
+    FCC_CHECK_MSG(link_bytes_per_ns > 0,
+                  "TorusSpec: link bandwidth must be positive, got "
+                      << link_bytes_per_ns);
+    FCC_CHECK_MSG(link_latency_ns >= 0,
+                  "TorusSpec: link latency must be non-negative, got "
+                      << link_latency_ns);
+  }
+};
+
+/// Switched scale-up node (NVSwitch class): every GPU owns an uplink and a
+/// downlink of `port_bytes_per_ns` into the switch. Contention is per
+/// endpoint port (like the fully-connected fabric) plus, optionally, a
+/// shared crossbar trunk capping the node's aggregate bisection.
+struct SwitchedSpec {
+  double port_bytes_per_ns = 80.0;
+  /// One-hop traversal latency; an intra-node route pays it twice
+  /// (GPU -> switch -> GPU).
+  TimeNs hop_latency_ns = 350;
+  /// Aggregate crossbar bandwidth; 0 disables the trunk (ideal crossbar).
+  double trunk_bytes_per_ns = 0.0;
+
+  void validate() const {
+    FCC_CHECK_MSG(port_bytes_per_ns > 0,
+                  "SwitchedSpec: port bandwidth must be positive, got "
+                      << port_bytes_per_ns);
+    FCC_CHECK_MSG(hop_latency_ns >= 0,
+                  "SwitchedSpec: hop latency must be non-negative");
+    FCC_CHECK_MSG(trunk_bytes_per_ns >= 0,
+                  "SwitchedSpec: trunk bandwidth must be >= 0 (0 = ideal)");
+  }
+};
+
+/// Which fabric a Machine instantiates, plus its parameters. The
+/// fully-connected default reproduces the pre-topology Machine exactly.
+struct TopologySpec {
+  enum class Kind {
+    kFullyConnected,
+    kSwitchedNode,
+    kMultiRail,
+    kTorus2D,
+  };
+  Kind kind = Kind::kFullyConnected;
+
+  SwitchedSpec switched;  // kSwitchedNode
+  int nic_rails = 2;      // kMultiRail: NICs per node
+  TorusSpec torus;        // kTorus2D: dims must equal the node count
+};
+
+class Topology {
+ public:
+  Topology(int num_nodes, int gpus_per_node)
+      : num_nodes_(num_nodes), gpus_per_node_(gpus_per_node) {
+    FCC_CHECK_MSG(num_nodes >= 1, "Topology: num_nodes must be >= 1, got "
+                                      << num_nodes);
+    FCC_CHECK_MSG(gpus_per_node >= 1,
+                  "Topology: gpus_per_node must be >= 1, got "
+                      << gpus_per_node);
+  }
+  virtual ~Topology() = default;
+
+  virtual const char* kind_name() const = 0;
+
+  int num_nodes() const { return num_nodes_; }
+  int gpus_per_node() const { return gpus_per_node_; }
+  int num_pes() const { return num_nodes_ * gpus_per_node_; }
+  NodeId node_of(PeId pe) const { return pe / gpus_per_node_; }
+  int local_index(PeId pe) const { return pe % gpus_per_node_; }
+
+  /// Cheap classification (no link resolution); the default node-arithmetic
+  /// rule is right for every fabric here, but a subclass with asymmetric
+  /// reachability may refine it.
+  virtual RouteClass route_class(PeId src, PeId dst) const {
+    if (src == dst) return RouteClass::kSelf;
+    return node_of(src) == node_of(dst) ? RouteClass::kIntraNode
+                                        : RouteClass::kInterNode;
+  }
+
+  /// Resolves (src, dst) into `route` (cleared first). `route` is a
+  /// caller-owned buffer so steady-state resolution is allocation-free.
+  virtual void resolve(PeId src, PeId dst, Route& route) = 0;
+
+  /// Reserves the route for `bytes` ready at `ready` and returns the
+  /// delivery-complete time. The default resolves and runs the generic
+  /// cut-through-then-NIC reservation; subclasses with bespoke accounting
+  /// (the fully-connected Fabric byte counters) override it.
+  virtual TimeNs write_time(PeId src, PeId dst, Bytes bytes, TimeNs ready);
+
+  /// Generic reservation of an already-resolved route.
+  static TimeNs reserve(const Route& route, Bytes bytes, TimeNs ready);
+
+  /// Per-node hardware accessors for stats and tests; null when the fabric
+  /// has no such component (e.g. no Fabric inside a switched node).
+  virtual Fabric* node_fabric(NodeId) { return nullptr; }
+  virtual Nic* node_nic(NodeId) { return nullptr; }
+
+ private:
+  int num_nodes_;
+  int gpus_per_node_;
+  Route scratch_;
+
+ protected:
+  Route& scratch() { return scratch_; }
+
+  /// Appends the standard intra-node fabric hops (source egress, destination
+  /// ingress) and the fabric latency — shared by every topology that puts a
+  /// `Fabric` inside the node.
+  void add_fabric_hops(Fabric& f, PeId src, PeId dst, Route& route) const {
+    route.hops.push_back(&f.egress(local_index(src)));
+    route.hops.push_back(&f.ingress(local_index(dst)));
+    route.latency_ns = f.spec().latency_ns;
+  }
+};
+
+/// The pre-topology Machine fabric: per-node fully-connected ports, one
+/// NIC per node for scale-out. Timings are byte-identical to the old
+/// two-path `remote_write_time` (golden-trace enforced).
+class FullyConnectedTopology final : public Topology {
+ public:
+  FullyConnectedTopology(int num_nodes, int gpus_per_node,
+                         const FabricSpec& fabric, const IbSpec& ib);
+
+  const char* kind_name() const override { return "fully_connected"; }
+  void resolve(PeId src, PeId dst, Route& route) override;
+  TimeNs write_time(PeId src, PeId dst, Bytes bytes, TimeNs ready) override;
+  Fabric* node_fabric(NodeId node) override { return fabrics_.at(node).get(); }
+  Nic* node_nic(NodeId node) override { return nics_.at(node).get(); }
+
+ private:
+  std::vector<std::unique_ptr<Fabric>> fabrics_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+};
+
+/// Switched scale-up node: src uplink + (optional trunk) + dst downlink,
+/// cut-through. Cross-node messages ride the node NIC as usual.
+class SwitchedTopology final : public Topology {
+ public:
+  SwitchedTopology(int num_nodes, int gpus_per_node, const SwitchedSpec& spec,
+                   const IbSpec& ib);
+
+  const char* kind_name() const override { return "switched"; }
+  void resolve(PeId src, PeId dst, Route& route) override;
+  Nic* node_nic(NodeId node) override { return nics_.at(node).get(); }
+
+  const SwitchedSpec& spec() const { return spec_; }
+  const Link& uplink(PeId pe) const { return *up_.at(pe); }
+  const Link& downlink(PeId pe) const { return *down_.at(pe); }
+
+ private:
+  SwitchedSpec spec_;
+  std::vector<std::unique_ptr<Link>> up_;     // per PE
+  std::vector<std::unique_ptr<Link>> down_;   // per PE
+  std::vector<std::unique_ptr<Link>> trunk_;  // per node, may be empty
+  std::vector<std::unique_ptr<Nic>> nics_;
+};
+
+/// Fully-connected intra-node fabric with `rails` NICs per node; a
+/// cross-node message rides the rail its source GPU is affinitized to
+/// (local index modulo rails), so concurrent senders stop serializing on
+/// one descriptor processor/wire.
+class MultiRailTopology final : public Topology {
+ public:
+  MultiRailTopology(int num_nodes, int gpus_per_node, int rails,
+                    const FabricSpec& fabric, const IbSpec& ib);
+
+  const char* kind_name() const override { return "multi_rail"; }
+  void resolve(PeId src, PeId dst, Route& route) override;
+  TimeNs write_time(PeId src, PeId dst, Bytes bytes, TimeNs ready) override;
+  Fabric* node_fabric(NodeId node) override { return fabrics_.at(node).get(); }
+  Nic* node_nic(NodeId node) override { return rail(node, 0); }
+
+  int rails() const { return rails_; }
+  Nic* rail(NodeId node, int r) {
+    return nics_.at(static_cast<std::size_t>(node) *
+                        static_cast<std::size_t>(rails_) +
+                    static_cast<std::size_t>(r))
+        .get();
+  }
+
+ private:
+  int rails_;
+  std::vector<std::unique_ptr<Fabric>> fabrics_;
+  std::vector<std::unique_ptr<Nic>> nics_;  // node-major, rails per node
+};
+
+/// Event-driven 2D torus of nodes. Point-to-point traffic takes
+/// dimension-ordered (x then y) shortest-direction routes over shared
+/// directed ring links; `flow_*` reserve whole dimension-ordered collective
+/// schedules on the same links (the analytic TorusModel's decomposition,
+/// which they reproduce exactly on an idle topology — see
+/// tests/test_scaleout.cc cross-checks).
+class TorusTopology final : public Topology {
+ public:
+  /// `fabric` is used for the intra-node ports when gpus_per_node > 1.
+  TorusTopology(const TorusSpec& spec, int gpus_per_node = 1,
+                const FabricSpec& fabric = {});
+
+  const char* kind_name() const override { return "torus2d"; }
+  void resolve(PeId src, PeId dst, Route& route) override;
+  Fabric* node_fabric(NodeId node) override {
+    return fabrics_.empty() ? nullptr : fabrics_.at(node).get();
+  }
+
+  const TorusSpec& spec() const { return spec_; }
+
+  /// Number of ring hops a (src, dst) node pair traverses.
+  int hop_count(NodeId src, NodeId dst) const;
+
+  /// Uniform personalized All-to-All (every node sends `per_pair_bytes` to
+  /// every other node), dimension-ordered: row rings move column-aggregated
+  /// traffic, then column rings distribute. Reserved as aggregate per-link
+  /// flows; returns the completion time.
+  TimeNs flow_all_to_all_uniform(Bytes per_pair_bytes, TimeNs start = 0);
+
+  /// Hierarchical ring AllReduce (reduce-scatter x, reduce-scatter y,
+  /// all-gather y, all-gather x) of `bytes` per node.
+  TimeNs flow_all_reduce(Bytes bytes, TimeNs start = 0);
+
+  /// Directed ring links, for tests/stats. dir: 0=+x, 1=-x, 2=+y, 3=-y.
+  const Link& ring_link(NodeId node, int dir) const {
+    return *links_.at(static_cast<std::size_t>(node) * 4 +
+                      static_cast<std::size_t>(dir));
+  }
+
+ private:
+  int node_x(NodeId n) const { return n % spec_.dim_x; }
+  int node_y(NodeId n) const { return n / spec_.dim_x; }
+  NodeId node_at(int x, int y) const { return y * spec_.dim_x + x; }
+  Link* link(NodeId node, int dir) {
+    return links_[static_cast<std::size_t>(node) * 4 +
+                  static_cast<std::size_t>(dir)]
+        .get();
+  }
+  /// One dimension-ordered A2A stage over the `along_x` rings; returns the
+  /// stage completion (start + busiest-link drain + worst hop latency).
+  TimeNs a2a_stage(bool along_x, Bytes per_pair, TimeNs start);
+  /// One ring reduce-scatter/all-gather phase over the `along_x` rings in
+  /// the given direction.
+  TimeNs ring_phase(bool along_x, double phase_bytes, bool forward,
+                    TimeNs start);
+
+  TorusSpec spec_;
+  std::vector<std::unique_ptr<Link>> links_;  // 4 per node: +x, -x, +y, -y
+  std::vector<std::unique_ptr<Fabric>> fabrics_;  // gpus_per_node > 1 only
+};
+
+/// Builds the topology a Machine::Config asks for.
+std::unique_ptr<Topology> make_topology(const TopologySpec& spec,
+                                        int num_nodes, int gpus_per_node,
+                                        const FabricSpec& fabric,
+                                        const IbSpec& ib);
+
+}  // namespace fcc::hw

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "hw/topology.h"
 
 namespace fcc::scaleout {
 
@@ -22,8 +23,25 @@ TorusSpec torus_for_nodes(int nodes, const TorusSpec& base) {
 }
 
 DlrmTrainingSim::DlrmTrainingSim(const TrainingConfig& cfg)
-    : cfg_(cfg), torus_(torus_for_nodes(cfg.num_nodes, cfg.torus)) {
+    : cfg_(cfg), torus_spec_(torus_for_nodes(cfg.num_nodes, cfg.torus)) {
+  FCC_CHECK_MSG(cfg_.num_nodes >= 2,
+                "DlrmTrainingSim: scale-out needs >= 2 nodes (a 1x1 torus "
+                "has no links)");
+  torus_spec_.validate();
   FCC_CHECK(cfg_.global_batch % cfg_.num_nodes == 0);
+}
+
+TimeNs DlrmTrainingSim::torus_a2a_time(Bytes per_pair_bytes) const {
+  // Fresh topology per measurement: the iteration model composes component
+  // times analytically, so each collective sees idle links (where the
+  // event-driven flows equal the analytic TorusModel exactly).
+  hw::TorusTopology topo(torus_spec_);
+  return topo.flow_all_to_all_uniform(per_pair_bytes, /*start=*/0);
+}
+
+TimeNs DlrmTrainingSim::torus_allreduce_time(Bytes bytes) const {
+  hw::TorusTopology topo(torus_spec_);
+  return topo.flow_all_reduce(bytes, /*start=*/0);
 }
 
 TimeNs DlrmTrainingSim::embedding_pass_time(bool fused) const {
@@ -58,7 +76,7 @@ IterationBreakdown DlrmTrainingSim::simulate(bool fused) const {
                             (n - 1) / n;
   const Bytes per_pair =
       n > 1 ? static_cast<Bytes>(send_bytes / (n - 1)) : 0;
-  b.a2a_fwd = torus_.all_to_all_time(per_pair);
+  b.a2a_fwd = torus_a2a_time(per_pair);
   b.a2a_bwd = b.a2a_fwd;
 
   // MLPs (data parallel on the local batch; bwd ~ 2x fwd flops).
@@ -77,7 +95,7 @@ IterationBreakdown DlrmTrainingSim::simulate(bool fused) const {
   // Data-parallel gradient AllReduce of MLP weights, overlapped with MLP
   // backward in both modes (standard bucketing).
   const double params = w * w * cfg_.mlp_layers + cfg_.dense_dim * w * 3;
-  b.grad_allreduce = torus_.all_reduce_time(static_cast<Bytes>(params * 4));
+  b.grad_allreduce = torus_allreduce_time(static_cast<Bytes>(params * 4));
   b.exposed_allreduce =
       std::max<TimeNs>(0, b.grad_allreduce - (b.top_mlp_bwd + b.bottom_mlp_bwd));
 

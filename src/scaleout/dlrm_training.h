@@ -2,7 +2,10 @@
 //
 // Mirrors the paper's ASTRA-Sim flow: per-kernel execution times come from
 // the GPU cost model (the paper collected them with ROC-profiler on an
-// MI210), collectives are scheduled on the 2D-torus model, and the fused
+// MI210), collectives run as dimension-ordered flows on the event-driven
+// `hw::TorusTopology` (the analytic `scaleout::TorusModel` survives only
+// as a cross-check; the two agree exactly on this uniform workload), and
+// the fused
 // execution graph overlaps each All-to-All with its producer/consumer
 // embedding pass at slice granularity. One training iteration:
 //
@@ -68,9 +71,13 @@ class DlrmTrainingSim {
  private:
   TimeNs embedding_pass_time(bool fused) const;
   TimeNs mlp_time(double flops) const;
+  /// Collective times measured by reserving the dimension-ordered flow
+  /// schedules on a fresh (idle) event-driven torus.
+  TimeNs torus_a2a_time(Bytes per_pair_bytes) const;
+  TimeNs torus_allreduce_time(Bytes bytes) const;
 
   TrainingConfig cfg_;
-  TorusModel torus_;
+  TorusSpec torus_spec_;
 };
 
 /// Chooses a near-square 2D torus for `nodes` (16x8 for 128, etc.).

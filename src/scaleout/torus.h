@@ -1,8 +1,16 @@
-// 2D-torus network model (ASTRA-Sim network-layer analog, Table II).
+// Analytic 2D-torus cross-check (ASTRA-Sim network-layer analog, Table II).
 //
-// Collective times are computed from dimension-decomposed schedules with
-// per-link serialization — the methodology ASTRA-Sim's analytical backend
-// uses. Links are 200 Gb/s (25 B/ns) with 700 ns hop latency by default.
+// The live scale-out path runs on `hw::TorusTopology` (src/hw/topology.h):
+// an event-driven torus whose dimension-ordered collective schedules are
+// reserved on shared FIFO links, so scale-out traffic contends with
+// anything else on the machine. `TorusModel` keeps the closed-form
+// dimension-decomposed schedule those flows implement; on an idle topology
+// the two agree exactly (pinned by tests/test_scaleout.cc), which makes
+// this the regression cross-check for the event-driven engine rather than
+// the simulator itself.
+//
+// Links are 200 Gb/s (25 B/ns) with 700 ns hop latency by default; the
+// shared spec (and its validation) lives in hw::TorusSpec.
 #pragma once
 
 #include <algorithm>
@@ -10,23 +18,16 @@
 
 #include "common/check.h"
 #include "common/types.h"
+#include "hw/topology.h"
 
 namespace fcc::scaleout {
 
-struct TorusSpec {
-  int dim_x = 16;
-  int dim_y = 8;
-  double link_bytes_per_ns = 25.0;  // 200 Gb/s
-  TimeNs link_latency_ns = 700;
-
-  int num_nodes() const { return dim_x * dim_y; }
-};
+using TorusSpec = hw::TorusSpec;
 
 class TorusModel {
  public:
   explicit TorusModel(const TorusSpec& spec) : spec_(spec) {
-    FCC_CHECK(spec.dim_x >= 1 && spec.dim_y >= 1);
-    FCC_CHECK(spec.link_bytes_per_ns > 0);
+    spec.validate();
   }
 
   const TorusSpec& spec() const { return spec_; }

@@ -6,11 +6,13 @@
 // when the bytes land at the destination — that is where functional-mode
 // memcpys and remote flag stores happen.
 //
-// Ordering model: each (src→dst) channel (fabric port pair or NIC) is FIFO,
-// so a PUT issued after another on the same channel also delivers after it.
-// `fence()` therefore costs only its instruction latency — matching the HDP
-// flush + ordering semantics the paper relies on — and `quiet()` waits for
-// all of this PE's outstanding deliveries.
+// Ordering model: every route class the topology resolves — self (HBM
+// copy), intra-node (fabric/switch hop chain), inter-node (NIC and/or
+// torus rings) — is a FIFO channel: a PUT issued after another on the same
+// channel also delivers after it, because hop reservations are claimed in
+// issue order. `fence()` therefore costs only its instruction latency —
+// matching the HDP flush + ordering semantics the paper relies on — and
+// `quiet()` waits for all of this PE's outstanding deliveries.
 #pragma once
 
 #include <coroutine>
@@ -85,13 +87,16 @@ class World {
     return outstanding_[static_cast<std::size_t>(src)];
   }
 
-  /// GPU-side issue latency for one PUT of the given kind.
+  /// GPU-side issue latency for one PUT of the given kind. A kRdma PUT
+  /// only pays the descriptor-post overhead when the resolved route
+  /// actually leaves the node; routes that stay on scale-up links issue as
+  /// plain stores regardless of what the caller requested.
   TimeNs issue_latency(PeId src, PeId dst, IssueKind kind) const {
     switch (kind) {
       case IssueKind::kRdma:
-        return machine_.same_node(src, dst)
-                   ? machine_.config().fabric.store_issue_overhead_ns
-                   : machine_.config().ib.gpu_post_overhead_ns;
+        return machine_.route_class(src, dst) == hw::RouteClass::kInterNode
+                   ? machine_.config().ib.gpu_post_overhead_ns
+                   : machine_.config().fabric.store_issue_overhead_ns;
       case IssueKind::kStore:
         return machine_.config().fabric.store_issue_overhead_ns;
       case IssueKind::kNone:

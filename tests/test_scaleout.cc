@@ -2,6 +2,7 @@
 // trend.
 #include <gtest/gtest.h>
 
+#include "hw/topology.h"
 #include "scaleout/dlrm_training.h"
 #include "scaleout/torus.h"
 
@@ -33,10 +34,63 @@ TEST(Torus, AllReduceLatencyGrowsWithRingSizes) {
   EXPECT_LT(small.all_reduce_time(1 << 20), big.all_reduce_time(1 << 20));
 }
 
-TEST(Torus, SingleNodeIsFree) {
-  TorusModel t(torus_for_nodes(1, {}));
-  EXPECT_EQ(t.all_to_all_time(1 << 20), 0);
-  EXPECT_EQ(t.all_reduce_time(1 << 20), 0);
+TEST(Torus, DegenerateSingleNodeTorusIsRejected) {
+  // A 1x1 torus has no links; construction fails fast with a clear check
+  // message instead of silently modeling a zero-cost network.
+  EXPECT_THROW(TorusModel(torus_for_nodes(1, {})), std::logic_error);
+  EXPECT_THROW(hw::TorusTopology(torus_for_nodes(1, {})), std::logic_error);
+}
+
+TEST(Torus, SpecValidationRejectsNonPositiveDimsAndBandwidth) {
+  TorusSpec bad_dims;
+  bad_dims.dim_x = 0;
+  EXPECT_THROW(bad_dims.validate(), std::logic_error);
+  TorusSpec bad_bw;
+  bad_bw.link_bytes_per_ns = 0.0;
+  EXPECT_THROW(bad_bw.validate(), std::logic_error);
+  TorusSpec bad_lat;
+  bad_lat.link_latency_ns = -1;
+  EXPECT_THROW(bad_lat.validate(), std::logic_error);
+}
+
+TEST(TorusTopology, EventDrivenA2AFlowMatchesAnalyticSchedule) {
+  // The event-driven torus reserves the same dimension-ordered flow
+  // decomposition the analytic TorusModel computes; on an idle topology
+  // (uniform workload, nothing else on the links) they agree exactly.
+  for (int nodes : {8, 32, 64, 128}) {
+    const TorusSpec spec = torus_for_nodes(nodes, {});
+    TorusModel analytic(spec);
+    for (Bytes per_pair : {Bytes{512}, Bytes{1} << 16, Bytes{1} << 22}) {
+      hw::TorusTopology topo(spec);
+      EXPECT_EQ(topo.flow_all_to_all_uniform(per_pair, 0),
+                analytic.all_to_all_time(per_pair))
+          << nodes << " nodes, per_pair=" << per_pair;
+    }
+  }
+}
+
+TEST(TorusTopology, EventDrivenAllReduceFlowMatchesAnalyticSchedule) {
+  for (int nodes : {8, 64, 128}) {
+    const TorusSpec spec = torus_for_nodes(nodes, {});
+    TorusModel analytic(spec);
+    for (Bytes bytes : {Bytes{4096}, Bytes{1} << 20, Bytes{1} << 26}) {
+      hw::TorusTopology topo(spec);
+      EXPECT_EQ(topo.flow_all_reduce(bytes, 0),
+                analytic.all_reduce_time(bytes))
+          << nodes << " nodes, bytes=" << bytes;
+    }
+  }
+}
+
+TEST(TorusTopology, FlowsContendOnSharedLinks) {
+  // Two back-to-back A2A flows on ONE topology queue behind each other —
+  // the event-driven schedule reserves real link intervals, unlike the
+  // closed-form model.
+  const TorusSpec spec = torus_for_nodes(64, {});
+  hw::TorusTopology topo(spec);
+  const TimeNs first = topo.flow_all_to_all_uniform(1 << 16, 0);
+  const TimeNs second = topo.flow_all_to_all_uniform(1 << 16, 0);
+  EXPECT_GT(second, first);
 }
 
 TrainingConfig paper_config(int nodes) {

@@ -269,13 +269,31 @@ sim::Task local_put(sim::Engine& e, World& w, TimeNs& delivered_at) {
   co_await w.quiet(2);
 }
 
-TEST(World, SelfPutDeliversImmediately) {
+TEST(World, SelfPutChargesHbmCopyNotFabric) {
   gpu::Machine m(one_node_four_gpus());
   World w(m);
   TimeNs delivered = -1;
   local_put(m.engine(), w, delivered);
   m.engine().run();
-  EXPECT_EQ(delivered, 0);
+  // Local copy: 1024 bytes read + written at aggregate HBM bandwidth.
+  const auto& dev = m.device(2);
+  const double bw = dev.hbm().total_bandwidth(dev.spec().max_wg_slots());
+  EXPECT_EQ(delivered, static_cast<TimeNs>(2.0 * 1024 / bw + 0.5));
+  // Regression: a self-PUT must never reserve fabric link time.
+  const auto& fabric = m.fabric(0);
+  for (int p = 0; p < fabric.num_ports(); ++p) {
+    EXPECT_EQ(fabric.egress(p).busy_ns(), 0);
+    EXPECT_EQ(fabric.egress(p).next_free(), 0);
+    EXPECT_EQ(fabric.ingress(p).busy_ns(), 0);
+    EXPECT_EQ(fabric.ingress(p).next_free(), 0);
+  }
+  EXPECT_EQ(fabric.total_bytes(), 0);
+}
+
+TEST(World, ZeroByteSelfPutIsFree) {
+  gpu::Machine m(one_node_four_gpus());
+  World w(m);
+  EXPECT_EQ(m.remote_write_time(1, 1, 0, 42), 42);
 }
 
 sim::Task store_put(sim::Engine& e, World& w, TimeNs& delivered_at) {

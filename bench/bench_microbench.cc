@@ -6,10 +6,16 @@
 // which is what bounds how large a sweep the harness can afford.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <functional>
+
 #include "bench_common.h"
 #include "fused/embedding_a2a.h"
 #include "fused/gemv_allreduce.h"
+#include "gpu/machine.h"
 #include "hw/link.h"
+#include "parallel/thread_pool.h"
+#include "scaleout/shard_workload.h"
 #include "shmem/world.h"
 #include "sim/engine.h"
 #include "sim/task.h"
@@ -102,6 +108,68 @@ void BM_FusedGemvSim(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FusedGemvSim)->Arg(8192)->Arg(32768);
+
+/// Per-chunk submit(): one queued std::function and one lock round-trip
+/// per chunk — the pre-batch parallel_for cost model.
+void BM_ThreadPoolSubmitChunks(benchmark::State& state) {
+  const int chunks = static_cast<int>(state.range(0));
+  par::ThreadPool pool(2);
+  for (auto _ : state) {
+    std::atomic<std::int64_t> sink{0};
+    for (int c = 0; c < chunks; ++c) {
+      pool.submit(
+          [&sink] { sink.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    benchmark::DoNotOptimize(sink.load());
+  }
+  state.SetItemsProcessed(state.iterations() * chunks);
+}
+BENCHMARK(BM_ThreadPoolSubmitChunks)->Arg(1 << 10)->Arg(1 << 13);
+
+/// run_batch(): the same chunk count as ONE published descriptor claimed
+/// via atomic fetch_add — what parallel_for rides now. The items/s gap
+/// against BM_ThreadPoolSubmitChunks is the per-chunk allocation + lock
+/// round-trip eliminated by the batch path.
+void BM_ThreadPoolRunBatch(benchmark::State& state) {
+  const int chunks = static_cast<int>(state.range(0));
+  par::ThreadPool pool(2);
+  std::atomic<std::int64_t> sink{0};
+  const std::function<void(std::int64_t)> body = [&sink](std::int64_t) {
+    sink.fetch_add(1, std::memory_order_relaxed);
+  };
+  for (auto _ : state) {
+    pool.run_batch(0, chunks, body, /*grain=*/1);
+    benchmark::DoNotOptimize(sink.load());
+  }
+  state.SetItemsProcessed(state.iterations() * chunks);
+}
+BENCHMARK(BM_ThreadPoolRunBatch)->Arg(1 << 10)->Arg(1 << 13);
+
+/// End-to-end sharded-engine window protocol on a small torus: wall cost
+/// of windows + barriers relative to the same workload serial is tracked
+/// in full by bench_shard_scaling; this pins the small-machine overhead.
+void BM_ShardedTorusWorkload(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  scaleout::ShardWorkloadConfig w;
+  w.rounds = 4;
+  w.lanes_per_pe = 2;
+  for (auto _ : state) {
+    gpu::Machine::Config mc;
+    mc.num_nodes = 16;
+    mc.gpus_per_node = 2;
+    mc.topology.kind = hw::TopologySpec::Kind::kTorus2D;
+    mc.topology.torus.dim_x = 4;
+    mc.topology.torus.dim_y = 4;
+    mc.num_shards = shards;
+    gpu::Machine m(mc);
+    const auto tr = scaleout::run_shard_workload(
+        m, w, /*num_threads=*/1);
+    benchmark::DoNotOptimize(tr.puts);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_ShardedTorusWorkload)->Arg(1)->Arg(4);
 
 /// Console reporter that also captures every run's throughput into
 /// bench_results/host_perf.json (merged with the sweep benches' records),

@@ -75,6 +75,18 @@ class FlagSet {
   void reset(sim::Engine& engine, int num_pes, std::size_t n) {
     flags_ = std::make_unique<shmem::FlagArray>(engine, num_pes, n);
   }
+
+  /// Sharded-aware form: each PE's flags wake on its home-shard engine, so
+  /// the set works on machines with num_shards > 1 (and is identical to the
+  /// single-engine form on serial machines).
+  void reset(shmem::World& world, std::size_t n) {
+    std::vector<sim::Engine*> engines(
+        static_cast<std::size_t>(world.n_pes()));
+    for (PeId pe = 0; pe < world.n_pes(); ++pe) {
+      engines[static_cast<std::size_t>(pe)] = &world.machine().engine_of(pe);
+    }
+    flags_ = std::make_unique<shmem::FlagArray>(std::move(engines), n);
+  }
   void release() { flags_.reset(); }
 
   shmem::FlagArray* get() const { return flags_.get(); }

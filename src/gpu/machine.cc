@@ -1,11 +1,63 @@
 #include "gpu/machine.h"
 
+#include <cstdint>
 #include <string>
 
 namespace fcc::gpu {
 
+namespace {
+
+/// Default node→shard map. Torus grids are cut into rectangular tiles
+/// (minimal cross-shard surface, and tiles keep neighbor traffic — the
+/// dominant pattern on a torus — inside one shard) when a tile factorization
+/// sx*sy == num_shards divides the dims; anything else gets contiguous
+/// balanced node blocks.
+std::vector<int> default_node_shard(const Machine::Config& config) {
+  const int nodes = config.num_nodes;
+  const int num_shards = config.num_shards;
+  std::vector<int> shard(static_cast<std::size_t>(nodes), 0);
+  if (num_shards <= 1) return shard;
+  if (config.topology.kind == hw::TopologySpec::Kind::kTorus2D) {
+    const int dx = config.topology.torus.dim_x;
+    const int dy = config.topology.torus.dim_y;
+    int best_sx = -1;
+    int best_surface = 0;
+    for (int sx = 1; sx <= num_shards; ++sx) {
+      if (num_shards % sx != 0) continue;
+      const int sy = num_shards / sx;
+      if (dx % sx != 0 || dy % sy != 0) continue;
+      const int surface = dx / sx + dy / sy;  // half the tile perimeter
+      if (best_sx < 0 || surface < best_surface) {
+        best_sx = sx;
+        best_surface = surface;
+      }
+    }
+    if (best_sx > 0) {
+      const int sy = num_shards / best_sx;
+      const int tile_x = dx / best_sx;
+      const int tile_y = dy / sy;
+      for (NodeId n = 0; n < nodes; ++n) {
+        const int x = n % dx;
+        const int y = n / dx;
+        shard[static_cast<std::size_t>(n)] =
+            (y / tile_y) * best_sx + x / tile_x;
+      }
+      return shard;
+    }
+  }
+  for (NodeId n = 0; n < nodes; ++n) {
+    shard[static_cast<std::size_t>(n)] = static_cast<int>(
+        static_cast<std::int64_t>(n) * num_shards / nodes);
+  }
+  return shard;
+}
+
+}  // namespace
+
 Machine::Machine(const Config& config)
-    : config_(config), trace_(config.collect_trace) {
+    : config_(config),
+      sharded_(config.num_shards),
+      trace_(config.collect_trace) {
   FCC_CHECK_MSG(config.num_nodes >= 1,
                 "Machine::Config: num_nodes must be >= 1, got "
                     << config.num_nodes);
@@ -20,17 +72,88 @@ Machine::Machine(const Config& config)
   FCC_CHECK_MSG(config.gpu.fp32_flops_per_ns > 0,
                 "Machine::Config: ALU throughput must be positive, got "
                     << config.gpu.fp32_flops_per_ns);
+  FCC_CHECK_MSG(config.num_shards <= config.num_nodes,
+                "Machine::Config: num_shards ("
+                    << config.num_shards << ") exceeds num_nodes ("
+                    << config.num_nodes
+                    << "); a node may not split across shards");
+  FCC_CHECK_MSG(!(config.collect_trace && config.num_shards > 1),
+                "Machine::Config: collect_trace requires the serial engine "
+                "(num_shards == 1); the trace buffer is shared");
+  const int pes = config.num_nodes * config.gpus_per_node;
+
+  // PE→shard partition: explicit map (validated) or the default one.
+  if (!config.pe_shard.empty()) {
+    FCC_CHECK_MSG(static_cast<int>(config.pe_shard.size()) == pes,
+                  "Machine::Config: pe_shard has " << config.pe_shard.size()
+                                                   << " entries for " << pes
+                                                   << " PEs");
+    for (PeId pe = 0; pe < pes; ++pe) {
+      const int s = config.pe_shard[static_cast<std::size_t>(pe)];
+      FCC_CHECK_MSG(s >= 0 && s < config.num_shards,
+                    "Machine::Config: pe_shard[" << pe << "] = " << s
+                                                 << " out of range [0, "
+                                                 << config.num_shards << ")");
+      const PeId first = (pe / config.gpus_per_node) * config.gpus_per_node;
+      FCC_CHECK_MSG(
+          s == config.pe_shard[static_cast<std::size_t>(first)],
+          "Machine::Config: pe_shard splits node "
+              << pe / config.gpus_per_node << " across shards ("
+              << config.pe_shard[static_cast<std::size_t>(first)] << " vs "
+              << s << " at PE " << pe
+              << "); intra-node fabric state is shard-owned");
+    }
+    pe_shard_ = config.pe_shard;
+  } else {
+    const std::vector<int> node_shard = default_node_shard(config);
+    pe_shard_.resize(static_cast<std::size_t>(pes));
+    for (PeId pe = 0; pe < pes; ++pe) {
+      pe_shard_[static_cast<std::size_t>(pe)] =
+          node_shard[static_cast<std::size_t>(pe / config.gpus_per_node)];
+    }
+  }
+
   // Fabric/NIC bandwidths are validated by the topology that actually
   // instantiates them (a torus never builds a NIC, a switched node never
   // reads FabricSpec), so an unused spec may legitimately be zeroed.
-  const int pes = config.num_nodes * config.gpus_per_node;
   devices_.reserve(pes);
   for (PeId pe = 0; pe < pes; ++pe) {
-    devices_.push_back(std::make_unique<Device>(engine_, pe, config.gpu));
+    devices_.push_back(
+        std::make_unique<Device>(engine_of(pe), pe, config.gpu));
   }
   topology_ = hw::make_topology(config.topology, config.num_nodes,
                                 config.gpus_per_node, config.fabric,
                                 config.ib);
+
+  if (is_sharded()) {
+    defer_inter_node_ = !topology_->inter_node_state_src_local();
+    std::vector<int> node_shard(static_cast<std::size_t>(config.num_nodes));
+    for (NodeId n = 0; n < config.num_nodes; ++n) {
+      // Deferred-reservation fabrics apply *every* inter-node delivery at a
+      // window barrier (not just cross-shard ones), so their lookahead must
+      // floor over all inter-node pairs: ask with each node as its own
+      // shard. Eager fabrics only push cross-shard deliveries through the
+      // mailbox and may use the (larger or equal) cross-shard floor.
+      node_shard[static_cast<std::size_t>(n)] =
+          defer_inter_node_ ? n : shard_of(n * config.gpus_per_node);
+    }
+    lookahead_ = topology_->min_inter_shard_latency(node_shard);
+    FCC_CHECK_MSG(lookahead_ > 0,
+                  "Machine::Config: cross-shard lookahead is zero "
+                  "(zero-latency inter-node links); conservative sharded "
+                  "execution needs a positive latency floor");
+  }
+}
+
+sim::ShardedEngine::RunStats Machine::run_all(unsigned num_threads) {
+  if (!is_sharded()) {
+    sim::ShardedEngine::RunStats stats;
+    stats.events = engine().run();
+    stats.windows = 1;
+    stats.threads = 1;
+    return stats;
+  }
+  return sharded_.run(lookahead_, num_threads);
 }
 
 TimeNs Machine::remote_write_time(PeId src, PeId dst, Bytes bytes,

@@ -19,6 +19,7 @@
 #include "hw/nic.h"
 #include "hw/topology.h"
 #include "sim/engine.h"
+#include "sim/sharded_engine.h"
 #include "sim/trace.h"
 
 namespace fcc::gpu {
@@ -33,13 +34,50 @@ class Machine {
     hw::IbSpec ib;
     hw::TopologySpec topology;  // fully-connected by default
     bool collect_trace = false;
+
+    /// Engine shards for conservative-lookahead parallel simulation. 1 =
+    /// the classic serial engine (every existing workload). With > 1, PEs
+    /// are partitioned node-aligned across shards (torus configs get grid
+    /// tiles, others contiguous node blocks) and the machine must be driven
+    /// through `run_all` / `sharded()` rather than `engine().run()`.
+    int num_shards = 1;
+
+    /// Optional explicit PE→shard map (size num_pes). Must be node-aligned:
+    /// intra-node fabric state (ports, switch links) is shard-owned, so a
+    /// node split across shards is rejected. Empty = default partition.
+    std::vector<int> pe_shard;
   };
 
   explicit Machine(const Config& config);
 
-  sim::Engine& engine() { return engine_; }
+  /// The serial engine (shard 0). For num_shards == 1 machines this is the
+  /// whole simulator, exactly as before sharding existed.
+  sim::Engine& engine() { return sharded_.shard(0); }
   sim::Trace& trace() { return trace_; }
   const Config& config() const { return config_; }
+
+  // --- sharding ----------------------------------------------------------
+
+  int num_shards() const { return sharded_.num_shards(); }
+  bool is_sharded() const { return sharded_.num_shards() > 1; }
+  sim::ShardedEngine& sharded() { return sharded_; }
+  int shard_of(PeId pe) const {
+    return pe_shard_[static_cast<std::size_t>(pe)];
+  }
+  sim::Engine& engine_of(PeId pe) { return sharded_.shard(shard_of(pe)); }
+
+  /// Conservative lookahead window (ns) for sharded runs; 0 when serial.
+  TimeNs lookahead() const { return lookahead_; }
+
+  /// True when inter-node route state is not source-local (torus ring
+  /// links): the shmem world must defer inter-node reservations to window
+  /// barriers instead of reserving eagerly at issue time.
+  bool defer_inter_node() const { return defer_inter_node_; }
+
+  /// Runs the simulation to completion: the windowed parallel protocol when
+  /// sharded, a plain serial `engine().run()` otherwise (reported as one
+  /// window). `num_threads` is only meaningful when sharded.
+  sim::ShardedEngine::RunStats run_all(unsigned num_threads = 0);
 
   int num_pes() const { return static_cast<int>(devices_.size()); }
   int num_nodes() const { return config_.num_nodes; }
@@ -90,10 +128,13 @@ class Machine {
 
  private:
   Config config_;
-  sim::Engine engine_;
+  sim::ShardedEngine sharded_;
   sim::Trace trace_;
+  std::vector<int> pe_shard_;
   std::vector<std::unique_ptr<Device>> devices_;
   std::unique_ptr<hw::Topology> topology_;
+  TimeNs lookahead_ = 0;
+  bool defer_inter_node_ = false;
 };
 
 }  // namespace fcc::gpu

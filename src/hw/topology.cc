@@ -26,6 +26,54 @@ TimeNs Topology::write_time(PeId src, PeId dst, Bytes bytes, TimeNs ready) {
   return reserve(r, bytes, ready);
 }
 
+Route& Topology::scratch() {
+  static thread_local Route r;
+  return r;
+}
+
+namespace {
+
+/// Pure propagation floor of a resolved route: hop latencies plus, when the
+/// route exits through a NIC, its descriptor-processing and wire latency.
+/// Serialization (queueing, occupancy) only ever adds on top of this.
+TimeNs route_latency_floor(const Route& r) {
+  TimeNs lat = r.latency_ns;
+  if (r.nic != nullptr) {
+    lat += r.nic->spec().per_msg_proc_ns + r.nic->spec().wire_latency_ns;
+  }
+  return lat;
+}
+
+}  // namespace
+
+TimeNs Topology::min_inter_shard_latency(const std::vector<int>& node_shard) {
+  FCC_CHECK_MSG(static_cast<int>(node_shard.size()) == num_nodes(),
+                "min_inter_shard_latency: partition covers "
+                    << node_shard.size() << " nodes, topology has "
+                    << num_nodes());
+  TimeNs cross_min = -1;
+  TimeNs any_min = -1;
+  Route& r = scratch();
+  for (NodeId a = 0; a < num_nodes(); ++a) {
+    for (NodeId b = 0; b < num_nodes(); ++b) {
+      if (a == b) continue;
+      r.clear();
+      resolve(a * gpus_per_node(), b * gpus_per_node(), r);
+      const TimeNs lat = route_latency_floor(r);
+      if (any_min < 0 || lat < any_min) any_min = lat;
+      if (node_shard[static_cast<std::size_t>(a)] !=
+              node_shard[static_cast<std::size_t>(b)] &&
+          (cross_min < 0 || lat < cross_min)) {
+        cross_min = lat;
+      }
+    }
+  }
+  FCC_CHECK_MSG(any_min >= 0,
+                "min_inter_shard_latency needs >= 2 nodes, topology has "
+                    << num_nodes());
+  return cross_min >= 0 ? cross_min : any_min;
+}
+
 // ---------------------------------------------------------------------------
 // FullyConnectedTopology
 

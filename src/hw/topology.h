@@ -173,6 +173,26 @@ class Topology {
   /// Generic reservation of an already-resolved route.
   static TimeNs reserve(const Route& route, Bytes bytes, TimeNs ready);
 
+  /// True when every link/NIC an inter-node route reserves belongs to the
+  /// *source node* (fully-connected: src NIC; switched: src uplink + src
+  /// NIC; multi-rail: src-affinity rail). The sharded world then reserves
+  /// inter-node routes eagerly at issue time — a node-aligned partition
+  /// makes that state single-shard-touched. The torus returns false: its
+  /// routes ride ring links owned by intermediate nodes, so reservations
+  /// must be serialized at window barriers instead (shmem::World).
+  virtual bool inter_node_state_src_local() const { return true; }
+
+  /// Conservative lookahead for a sharded run under the given node→shard
+  /// partition: a lower bound on the latency of any inter-node write whose
+  /// endpoints live on different shards (pure propagation — NIC descriptor
+  /// processing, wire latency, hop latencies — ignoring all serialization,
+  /// which only pushes delivery later). The generic implementation scans
+  /// cross-shard node pairs via `resolve`; if the partition has no
+  /// cross-shard pair it falls back to the minimum over all inter-node
+  /// pairs (any positive bound works when nothing crosses shards).
+  /// Subclasses with a closed form (torus: one hop) override.
+  virtual TimeNs min_inter_shard_latency(const std::vector<int>& node_shard);
+
   /// Per-node hardware accessors for stats and tests; null when the fabric
   /// has no such component (e.g. no Fabric inside a switched node).
   virtual Fabric* node_fabric(NodeId) { return nullptr; }
@@ -181,10 +201,12 @@ class Topology {
  private:
   int num_nodes_;
   int gpus_per_node_;
-  Route scratch_;
 
  protected:
-  Route& scratch() { return scratch_; }
+  /// Per-thread scratch route buffer: steady-state resolution stays
+  /// allocation-free, and shard threads reserving source-local routes
+  /// concurrently (see inter_node_state_src_local) never share it.
+  static Route& scratch();
 
   /// Appends the standard intra-node fabric hops (source egress, destination
   /// ingress) and the fabric latency — shared by every topology that puts a
@@ -283,6 +305,17 @@ class TorusTopology final : public Topology {
   void resolve(PeId src, PeId dst, Route& route) override;
   Fabric* node_fabric(NodeId node) override {
     return fabrics_.empty() ? nullptr : fabrics_.at(node).get();
+  }
+
+  /// Torus routes traverse ring links owned by intermediate nodes, so a
+  /// sharded world must serialize reservations at window barriers.
+  bool inter_node_state_src_local() const override { return false; }
+
+  /// Closed form: every inter-node route crosses at least one ring link, so
+  /// one hop's propagation latency is a safe (and tight, for neighboring
+  /// tiles) lower bound — no O(nodes^2) scan at machine construction.
+  TimeNs min_inter_shard_latency(const std::vector<int>&) override {
+    return spec_.link_latency_ns;
   }
 
   const TorusSpec& spec() const { return spec_; }

@@ -14,20 +14,16 @@
 namespace fcc::par {
 
 /// Invokes `body(i)` for i in [begin, end) using `pool`. Blocks until done.
+/// Rides the pool's batch path: the whole range is one published
+/// descriptor and workers claim `grain`-sized chunks with an atomic
+/// fetch_add — no per-chunk std::function, no per-chunk lock round-trip.
 inline void parallel_for(ThreadPool& pool, std::int64_t begin,
                          std::int64_t end,
                          const std::function<void(std::int64_t)>& body,
                          std::int64_t grain = 1) {
   FCC_CHECK(begin <= end);
   FCC_CHECK(grain >= 1);
-  if (begin == end) return;
-  for (std::int64_t lo = begin; lo < end; lo += grain) {
-    const std::int64_t hi = std::min(lo + grain, end);
-    pool.submit([lo, hi, &body] {
-      for (std::int64_t i = lo; i < hi; ++i) body(i);
-    });
-  }
-  pool.wait_idle();
+  pool.run_batch(begin, end, body, grain);
 }
 
 /// Serial fallback with the same signature (useful under FCC_DETERMINISTIC

@@ -32,20 +32,82 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+void ThreadPool::run_chunks(Batch& b) {
+  for (;;) {
+    const std::int64_t lo =
+        b.next.fetch_add(b.grain, std::memory_order_relaxed);
+    if (lo >= b.end) return;
+    const std::int64_t hi = std::min(lo + b.grain, b.end);
+    for (std::int64_t i = lo; i < hi; ++i) (*b.body)(i);
+  }
+}
+
+void ThreadPool::run_batch(std::int64_t begin, std::int64_t end,
+                           const std::function<void(std::int64_t)>& body,
+                           std::int64_t grain) {
+  if (begin >= end) return;
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  Batch b;
+  b.end = end;
+  b.grain = grain < 1 ? 1 : grain;
+  b.body = &body;
+  b.next.store(begin, std::memory_order_relaxed);
+  {
+    // One publish for the whole range — the only lock the batch takes.
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &b;
+  }
+  cv_task_.notify_all();
+  // The caller drains chunks too: correct with zero workers, and the
+  // publishing thread never just blocks while work remains.
+  run_chunks(b);
+  {
+    // Unpublish, then wait for workers still inside run_chunks: `b` is a
+    // stack frame, nothing may reference it after this returns.
+    std::unique_lock<std::mutex> lock(mu_);
+    batch_ = nullptr;
+    cv_idle_.wait(lock,
+                  [&b] { return b.active.load(std::memory_order_acquire) == 0; });
+  }
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0 && batch_ == nullptr; });
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
+    Batch* batch = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      cv_task_.wait(lock, [this] {
+        // A published batch only wakes workers while chunks remain, so a
+        // drained-but-not-yet-unpublished batch can't spin the pool.
+        return stop_ || !queue_.empty() ||
+               (batch_ != nullptr &&
+                batch_->next.load(std::memory_order_relaxed) < batch_->end);
+      });
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      } else if (batch_ != nullptr) {
+        batch = batch_;
+        batch->active.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        return;  // stop_ and drained
+      }
+    }
+    if (batch != nullptr) {
+      run_chunks(*batch);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (batch->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          cv_idle_.notify_all();
+        }
+      }
+      continue;
     }
     task();
     {

@@ -5,9 +5,21 @@
 // run concurrently — bench/sweep_runner.h is the consumer that fans sweep
 // points (one whole engine each) across it with index-ordered results.
 // Follows CP.20/CP.23 (RAII joining, no detached threads).
+//
+// Two submission paths:
+//
+//   * submit(fn)     — one queued std::function per task: flexible, but a
+//                      possible allocation plus one lock round-trip each.
+//   * run_batch(...) — a whole index range as ONE published descriptor:
+//                      workers claim chunks with an atomic fetch_add, so a
+//                      parallel_for of N chunks costs one lock acquisition
+//                      and zero per-chunk allocations (the batch microbench
+//                      in bench_microbench.cc records the difference).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -29,19 +41,47 @@ class ThreadPool {
   /// simulation drivers that report failures through their own results).
   void submit(std::function<void()> task);
 
+  /// Runs `body(i)` for every i in [begin, end), `grain` indices per claimed
+  /// chunk, and blocks until all complete. The caller's thread also works,
+  /// so the pool is usable even with zero free workers. The batch is one
+  /// shared descriptor: workers grab chunks via atomic fetch_add — no
+  /// per-chunk queue entry, no per-chunk allocation, one lock round-trip
+  /// per batch. `body` must be thread-safe for distinct indices. One batch
+  /// at a time (benches and sweeps are structured that way); concurrent
+  /// run_batch calls from different threads serialize on an internal mutex.
+  void run_batch(std::int64_t begin, std::int64_t end,
+                 const std::function<void(std::int64_t)>& body,
+                 std::int64_t grain = 1);
+
   /// Blocks until every submitted task has finished.
   void wait_idle();
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
  private:
+  /// The active batch, published under mu_ and claimed lock-free. `next`
+  /// advances by `grain` per claim; a claim at or past `end` means the
+  /// batch is drained.
+  struct Batch {
+    std::int64_t end = 0;
+    std::int64_t grain = 1;
+    const std::function<void(std::int64_t)>* body = nullptr;
+    std::atomic<std::int64_t> next{0};
+    std::atomic<int> active{0};  // workers inside run_chunks
+  };
+
   void worker_loop();
+
+  /// Claims and runs chunks of `b` until it drains.
+  static void run_chunks(Batch& b);
 
   std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  Batch* batch_ = nullptr;  // non-null while a batch is being drained
+  std::mutex batch_mu_;     // serializes concurrent run_batch callers
   int in_flight_ = 0;
   bool stop_ = false;
 };

@@ -1,0 +1,62 @@
+// Deterministic sharded-engine workload (the golden-trace pin for the
+// conservative-lookahead scheduler, and the bench_shard_scaling kernel).
+//
+// Every PE runs `lanes_per_pe` lane processes on its home shard. Per lane,
+// per round:
+//
+//   compute burst -> intra-node PUT (rotating local peer, flag add)
+//                 -> inter-node ring PUT (next node, same local index,
+//                    flag add)
+//                 -> wait for this round's intra and inter flag counters.
+//
+// After all rounds each lane drains (`World::quiet`) and stamps its end
+// time. The ring pattern is chosen so that on a torus every directed ring
+// link is reserved by exactly one source node: reservation order across
+// shards then cannot matter, and the resulting ShardTrace is *exactly*
+// equal between the serial engine and any shard count (enforced at 1/2/4/8
+// by tests/test_sim_sharded.cc).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "gpu/machine.h"
+
+namespace fcc::scaleout {
+
+struct ShardWorkloadConfig {
+  int rounds = 4;
+  int lanes_per_pe = 1;
+  TimeNs compute_ns = 500;     // busy burst before each round's sends
+  Bytes intra_bytes = 65536;   // scale-up payload (skipped at 1 GPU/node)
+  Bytes inter_bytes = 4096;    // scale-out ring payload (skipped at 1 node)
+};
+
+/// Everything observable that depends on the full event cascade. Engine
+/// clocks are intentionally absent: the windowed scheduler parks idle
+/// shards at window bounds, so `Engine::now()` after the run is a protocol
+/// artifact — per-lane end stamps (read at event fire time) are not.
+struct ShardTrace {
+  std::int64_t puts = 0;
+  std::vector<TimeNs> lane_end;  // [pe * lanes + lane]
+  std::vector<TimeNs> busy;      // per device busy_ns
+  std::vector<std::uint64_t> flags;  // final flag values, [pe][2*lanes]
+
+  bool operator==(const ShardTrace&) const = default;
+  TimeNs final_time() const;  // max lane_end
+  std::string str() const;
+};
+
+/// Spawns the workload on `machine` (serial or sharded — same call), runs
+/// to completion with `num_threads` workers (sharded only; 0 = auto), and
+/// returns the trace. Throws on deadlock. `stats_out` (optional) receives
+/// the engine run stats (events, windows, messages) for benches.
+ShardTrace run_shard_workload(gpu::Machine& machine,
+                              const ShardWorkloadConfig& cfg,
+                              unsigned num_threads = 0,
+                              sim::ShardedEngine::RunStats* stats_out =
+                                  nullptr);
+
+}  // namespace fcc::scaleout

@@ -28,12 +28,29 @@ namespace fcc::shmem {
 
 class FlagArray {
  public:
+  /// Single-engine form: every PE's wakeups go through `engine` (the whole
+  /// pre-sharding world, and any num_shards == 1 machine).
   FlagArray(sim::Engine& engine, int num_pes, std::size_t n)
-      : engine_(engine),
+      : engines_(static_cast<std::size_t>(num_pes), &engine),
         num_pes_(num_pes),
         n_(n),
         values_(static_cast<std::size_t>(num_pes) * n, 0),
-        waiters_(static_cast<std::size_t>(num_pes) * n) {}
+        waiters_(static_cast<std::size_t>(num_pes) * n),
+        order_seq_(static_cast<std::size_t>(num_pes) * n, 0) {}
+
+  /// Sharded form: PE `p`'s flags wake on `per_pe_engines[p]` — its home
+  /// shard. A flag's state (value + waiters) is only ever touched from that
+  /// shard: local waits and stores run there, and remote increments arrive
+  /// as mailbox messages applied on the owner (see shmem::World).
+  FlagArray(std::vector<sim::Engine*> per_pe_engines, std::size_t n)
+      : engines_(std::move(per_pe_engines)),
+        num_pes_(static_cast<int>(engines_.size())),
+        n_(n),
+        values_(engines_.size() * n, 0),
+        waiters_(engines_.size() * n),
+        order_seq_(engines_.size() * n, 0) {
+    for ([[maybe_unused]] sim::Engine* e : engines_) FCC_DCHECK(e != nullptr);
+  }
 
   ~FlagArray() {
     for ([[maybe_unused]] const auto& ws : waiters_) {
@@ -105,7 +122,11 @@ class FlagArray {
   void enqueue(std::size_t f, std::uint64_t threshold,
                std::coroutine_handle<> h) {
     auto& ws = waiters_[f];
-    const Waiter w{threshold, next_order_++, h};
+    // Per-flag registration sequence: `order` only ever tiebreaks waiters
+    // on the *same* flag, and a flag is touched exclusively from its owning
+    // PE's shard — a single array-wide counter would be a cross-shard data
+    // race under the windowed worker team.
+    const Waiter w{threshold, order_seq_[f]++, h};
     // Keep sorted by threshold; `order` is monotonic, so inserting after
     // equal thresholds keeps the sort stable in registration order.
     const auto pos = std::upper_bound(
@@ -129,18 +150,19 @@ class FlagArray {
                   return a.order < b.order;
                 });
     }
+    sim::Engine& e = *engines_[f / n_];  // the flag's owning PE's engine
     for (std::size_t j = 0; j < k; ++j) {
-      engine_.schedule_resume_after(0, ws[j].h);
+      e.schedule_resume_after(0, ws[j].h);
     }
     ws.erase(ws.begin(), ws.begin() + static_cast<std::ptrdiff_t>(k));
   }
 
-  sim::Engine& engine_;
+  std::vector<sim::Engine*> engines_;  // per PE: home-shard engine
   int num_pes_;
   std::size_t n_;
   std::vector<std::uint64_t> values_;      // [pe * n + i], contiguous
   std::vector<std::vector<Waiter>> waiters_;  // [pe * n + i]
-  std::uint64_t next_order_ = 0;
+  std::vector<std::uint64_t> order_seq_;      // per-flag Waiter::order source
 };
 
 /// WG-completion bitmask for one slice (WG_Done analog). The last WG to set

@@ -13,11 +13,28 @@
 // issue order. `fence()` therefore costs only its instruction latency —
 // matching the HDP flush + ordering semantics the paper relies on — and
 // `quiet()` waits for all of this PE's outstanding deliveries.
+//
+// Sharded machines (gpu::Machine num_shards > 1) keep every piece of World
+// state shard-local: outstanding counters, drain waiters, and per-PE put
+// counters are only touched from the owning PE's home shard. Inter-node
+// PUTs follow one of two paths:
+//
+//   * eager (fully-connected / switched / multi-rail): the route's state is
+//     source-node-local, so the reservation happens at issue time exactly
+//     as in the serial engine; only the *delivery* callback crosses shards,
+//     as a mailbox message applied on the destination's shard.
+//   * deferred (torus): routes ride ring links owned by third-party nodes,
+//     so reservations are queued per shard and replayed at every window
+//     barrier in (issue time, src shard, seq) order — a single serial
+//     consistency point that matches the serial engine's time-ordered
+//     reservation sequence (exactly, up to same-timestamp cross-shard
+//     ties).
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -37,44 +54,37 @@ class World {
     kNone,       // already accounted by the caller
   };
 
-  explicit World(gpu::Machine& machine)
-      : machine_(machine),
-        outstanding_(static_cast<std::size_t>(machine.num_pes()), 0),
-        drain_waiters_(static_cast<std::size_t>(machine.num_pes())) {}
+  explicit World(gpu::Machine& machine);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
 
   gpu::Machine& machine() { return machine_; }
   int n_pes() const { return machine_.num_pes(); }
 
   /// Non-blocking PUT of `bytes` from `src` to `dst`. The coroutine returns
   /// to the caller as soon as the issue cost has elapsed; `on_deliver` (may
-  /// be empty) runs when the data is visible at `dst`.
+  /// be empty) runs when the data is visible at `dst` — on `dst`'s home
+  /// shard when the machine is sharded.
   sim::Co put_nbi(PeId src, PeId dst, Bytes bytes, IssueKind kind,
                   std::function<void()> on_deliver = {}) {
     co_await issue_cost(src, dst, kind);
-    const TimeNs delivery =
-        machine_.remote_write_time(src, dst, bytes, machine_.engine().now());
-    start_tracking(src);
-    auto* self = this;
-    machine_.engine().schedule_at(
-        delivery, [self, src, cb = std::move(on_deliver)] {
-          if (cb) cb();
-          self->finish_tracking(src);
-        });
-    ++puts_issued_;
+    issue_put(src, dst, bytes, std::move(on_deliver));
   }
 
   /// Orders prior PUTs from `src` before subsequent ones (per destination).
   /// FIFO channels already guarantee this; only the instruction cost is
   /// charged.
   sim::Co fence(PeId src) {
-    co_await sim::delay(machine_.engine(), kFenceCostNs);
-    (void)src;
+    co_await sim::delay(machine_.engine_of(src), kFenceCostNs);
   }
 
   /// Blocks until every PUT issued by `src` has been delivered. The wakeup
   /// is targeted: waiters are resumed only when the outstanding count hits
   /// zero (the loop re-checks in case a same-time event issued a new PUT
-  /// between the wake and the resume).
+  /// between the wake and the resume). Works across shards: a deferred or
+  /// remote delivery finishes tracking via a message on `src`'s shard, so
+  /// the counter and waiter list stay shard-local.
   sim::Co quiet(PeId src) {
     auto& count = outstanding_[static_cast<std::size_t>(src)];
     while (count > 0) {
@@ -82,7 +92,11 @@ class World {
     }
   }
 
-  std::int64_t puts_issued() const { return puts_issued_; }
+  std::int64_t puts_issued() const {
+    std::int64_t total = 0;
+    for (const std::int64_t c : puts_issued_) total += c;
+    return total;
+  }
   int outstanding(PeId src) const {
     return outstanding_[static_cast<std::size_t>(src)];
   }
@@ -120,9 +134,43 @@ class World {
     void await_resume() const noexcept {}
   };
 
+  /// An inter-node PUT whose route reservation waits for the next window
+  /// barrier (torus: the route's links are not source-shard-owned).
+  struct PendingPut {
+    TimeNs t;  // issue-complete time on the source shard
+    PeId src;
+    PeId dst;
+    Bytes bytes;
+    std::function<void()> cb;
+  };
+
+  /// Per-shard deferred queue, cache-line padded: appended only by the
+  /// owning shard's thread during a window, drained serially at barriers.
+  struct alignas(64) DeferredShard {
+    std::vector<PendingPut> puts;
+  };
+
   sim::Co issue_cost(PeId src, PeId dst, IssueKind kind) {
     const TimeNs cost = issue_latency(src, dst, kind);
     if (cost > 0) co_await machine_.device(src).busy_wait(cost);
+  }
+
+  /// Post-issue bookkeeping and delivery scheduling; see the header comment
+  /// for the eager/deferred split. Defined in world.cc.
+  void issue_put(PeId src, PeId dst, Bytes bytes, std::function<void()> cb);
+
+  /// Barrier hook (deferred mode): replays all queued reservations in
+  /// (issue time, src shard, seq) order and posts their deliveries.
+  void drain_deferred();
+
+  /// Schedules the serial-shape delivery event ({callback; finish}) on `e`.
+  void schedule_delivery(sim::Engine& e, TimeNs t, PeId src,
+                         std::function<void()> cb) {
+    auto* self = this;
+    e.schedule_at(t, [self, src, cb = std::move(cb)] {
+      if (cb) cb();
+      self->finish_tracking(src);
+    });
   }
 
   void start_tracking(PeId src) {
@@ -134,7 +182,7 @@ class World {
     if (--count == 0) {
       auto& waiters = drain_waiters_[static_cast<std::size_t>(src)];
       for (auto h : waiters) {
-        machine_.engine().schedule_resume_after(0, h);
+        machine_.engine_of(src).schedule_resume_after(0, h);
       }
       waiters.clear();
     }
@@ -143,7 +191,9 @@ class World {
   gpu::Machine& machine_;
   std::vector<int> outstanding_;
   std::vector<std::vector<std::coroutine_handle<>>> drain_waiters_;
-  std::int64_t puts_issued_ = 0;
+  std::vector<std::int64_t> puts_issued_;  // per PE: writer is its own shard
+  std::vector<DeferredShard> deferred_;
+  int barrier_hook_ = -1;
 };
 
 }  // namespace fcc::shmem

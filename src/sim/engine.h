@@ -179,6 +179,17 @@ class Engine {
     return staging_.empty() && sorted_run_.empty() && heap_.empty();
   }
 
+  /// Sentinel returned by next_event_time() when no events are pending.
+  static constexpr TimeNs kNoEvent = -1;
+
+  /// Time of the earliest pending event, or kNoEvent when idle. May flush
+  /// the staging tier (deterministic); used by the sharded scheduler to
+  /// compute conservative window bounds.
+  TimeNs next_event_time() {
+    const HeapEntry* e = peek();
+    return e != nullptr ? e->t : kNoEvent;
+  }
+
   /// Events scheduled but not yet fired.
   std::size_t pending() const {
     return staging_.size() + sorted_run_.size() + heap_.size();

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "parallel/parallel_for.h"
@@ -68,6 +70,69 @@ TEST(ParallelFor, MatchesSerialSum) {
                },
                /*grain=*/128);
   EXPECT_EQ(sum.load(), 10000LL * 10001 / 2);
+}
+
+TEST(RunBatch, CoversEveryIndexExactlyOnceAcrossGrains) {
+  ThreadPool pool(4);
+  for (const std::int64_t grain : {1, 3, 64, 10000}) {
+    std::vector<std::atomic<int>> hits(3001);
+    std::function<void(std::int64_t)> body = [&](std::int64_t i) {
+      hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    };
+    pool.run_batch(0, 3001, body, grain);
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1) << "grain=" << grain;
+  }
+}
+
+TEST(RunBatch, EmptyAndReversedRangesAreNoops) {
+  ThreadPool pool(2);
+  int touched = 0;
+  std::function<void(std::int64_t)> body = [&](std::int64_t) { ++touched; };
+  pool.run_batch(5, 5, body);
+  pool.run_batch(9, 3, body);
+  EXPECT_EQ(touched, 0);
+}
+
+TEST(RunBatch, CallerDrainsWithSingleWorkerPool) {
+  // A 1-thread pool still completes: the calling thread claims chunks too.
+  ThreadPool pool(1);
+  std::atomic<std::int64_t> sum{0};
+  std::function<void(std::int64_t)> body = [&](std::int64_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  };
+  pool.run_batch(0, 1000, body, /*grain=*/7);
+  EXPECT_EQ(sum.load(), 999LL * 1000 / 2);
+}
+
+TEST(RunBatch, ReusableBackToBackAndInterleavedWithSubmit) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::function<void(std::int64_t)> body = [&](std::int64_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  };
+  for (int wave = 0; wave < 4; ++wave) {
+    pool.run_batch(0, 250, body, 8);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (wave + 1) * 300);
+  }
+}
+
+TEST(RunBatch, ConcurrentCallersSerialize) {
+  // Two threads each running their own batch through one pool must both
+  // complete correctly (batches serialize on an internal mutex).
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> sum{0};
+  std::function<void(std::int64_t)> body = [&](std::int64_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  };
+  std::thread a([&] { pool.run_batch(0, 2000, body, 16); });
+  std::thread b([&] { pool.run_batch(0, 2000, body, 16); });
+  a.join();
+  b.join();
+  EXPECT_EQ(sum.load(), 2 * (1999LL * 2000 / 2));
 }
 
 TEST(SerialFor, RunsInOrder) {

@@ -1,0 +1,226 @@
+// Offered-load sweep over the serving simulator: find the saturation knee.
+//
+// For each fabric (fully-connected 1x8, switched 1x8, 2D torus 4x2) the
+// bench first calibrates the machine's service capacity — one warm run of
+// every catalog chain gives the weighted mean batch service time S, and
+// capacity ~= lanes * max_batch / S requests per second — then sweeps
+// offered load as a fraction of that capacity with a Poisson firehose.
+// Below the knee p99 total latency sits near service + batch window; past
+// it the bounded queues fill, latency is queue-depth * batch time, and
+// admission control starts rejecting — the p99 inflection (and the
+// achieved-vs-offered throughput gap) is the knee.
+//
+// Output: bench_results/serve_load.csv with p50/p99/p999 columns per
+// (topology, load) point, a per-topology knee ratio into host_perf.json,
+// and a nonzero exit unless every topology shows a visible knee
+// (p99 at the highest load > 2x p99 at the lowest).
+//
+// Env knobs (CI smoke uses tiny values):
+//   FCC_SERVE_BENCH_REQS   requests per point        (default 400)
+//   FCC_SERVE_BENCH_LOADS  comma list of load fracs  (default
+//                          0.2,0.4,0.6,0.8,1.0,1.25,1.5)
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "framework/op_registry.h"
+#include "gpu/machine.h"
+#include "hw/topology.h"
+#include "serve/arrivals.h"
+#include "serve/catalog.h"
+#include "serve/simulator.h"
+#include "shmem/world.h"
+#include "sweep_runner.h"
+
+namespace {
+
+using namespace fcc;
+
+struct Topo {
+  std::string name;
+  gpu::Machine::Config machine;
+};
+
+std::vector<Topo> topologies() {
+  std::vector<Topo> topos;
+  {
+    Topo fc{"fully_connected", {}};
+    fc.machine.num_nodes = 1;
+    fc.machine.gpus_per_node = 8;
+    topos.push_back(fc);
+  }
+  {
+    Topo sw{"switched", {}};
+    sw.machine.num_nodes = 1;
+    sw.machine.gpus_per_node = 8;
+    sw.machine.topology.kind = hw::TopologySpec::Kind::kSwitchedNode;
+    topos.push_back(sw);
+  }
+  {
+    Topo to{"torus2d_4x2", {}};
+    to.machine.num_nodes = 8;
+    to.machine.gpus_per_node = 1;
+    to.machine.topology.kind = hw::TopologySpec::Kind::kTorus2D;
+    to.machine.topology.torus.dim_x = 4;
+    to.machine.topology.torus.dim_y = 2;
+    topos.push_back(to);
+  }
+  return topos;
+}
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<int>(std::strtol(v, nullptr, 10));
+}
+
+std::vector<double> env_loads() {
+  std::vector<double> loads;
+  const char* v = std::getenv("FCC_SERVE_BENCH_LOADS");
+  std::string spec = (v != nullptr && *v != '\0')
+                         ? v
+                         : "0.2,0.4,0.6,0.8,1.0,1.25,1.5";
+  std::istringstream is(spec);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    if (!tok.empty()) loads.push_back(std::strtod(tok.c_str(), nullptr));
+  }
+  FCC_CHECK_MSG(loads.size() >= 2, "need >= 2 load points for a knee");
+  return loads;
+}
+
+/// Weighted mean batch service time (ns) of the catalog on this machine:
+/// one warm run per chain stage (cold allocations out of the measurement).
+double calibrate_service_ns(const gpu::Machine::Config& mc) {
+  gpu::Machine machine(mc);
+  shmem::World world(machine);
+  const auto catalog = serve::default_catalog(machine.num_pes());
+  const fw::OpRegistry& registry = fw::OpRegistry::global();
+  double weight_sum = 0.0, service_sum = 0.0;
+  for (const serve::ServeClass& c : catalog) {
+    TimeNs chain_ns = 0;
+    for (const fw::OpSpec& spec : c.chain) {
+      auto op = registry.at(spec.name).make(world, spec, fw::Backend::kFused);
+      op->run_to_completion();  // warm: first run takes the allocations
+      const auto res = op->run_to_completion();
+      chain_ns += res.end - res.start;
+    }
+    weight_sum += c.weight;
+    service_sum += c.weight * static_cast<double>(chain_ns);
+  }
+  return service_sum / weight_sum;
+}
+
+struct PointResult {
+  double offered_rps = 0, achieved_rps = 0;
+  std::int64_t completed = 0, rejected = 0, slo_violations = 0;
+  TimeNs p50 = 0, p99 = 0, p999 = 0;
+};
+
+PointResult run_point(const Topo& topo, double offered_rps, int num_reqs,
+                      std::uint64_t seed) {
+  gpu::Machine machine(topo.machine);
+  shmem::World world(machine);
+  auto catalog = serve::default_catalog(machine.num_pes());
+  const auto weights = serve::class_weights(catalog);
+  serve::Simulator sim(machine, world, std::move(catalog));
+  const auto trace =
+      serve::poisson_trace(offered_rps, num_reqs, seed, weights);
+  const serve::ServeReport report = sim.run(trace);
+
+  PointResult r;
+  r.offered_rps = offered_rps;
+  r.achieved_rps = report.achieved_rps();
+  r.completed = report.overall.completed;
+  r.rejected = report.overall.rejected;
+  r.slo_violations = report.overall.slo_violations;
+  if (!report.overall.total.empty()) {
+    r.p50 = report.overall.total.percentile(50.0);
+    r.p99 = report.overall.total.percentile(99.0);
+    r.p999 = report.overall.total.percentile(99.9);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const auto topos = topologies();
+  const auto loads = env_loads();
+  const int num_reqs = env_int("FCC_SERVE_BENCH_REQS", 400);
+
+  // Capacity calibration is cheap and sequential; the sweep is the work.
+  std::vector<double> capacity_rps(topos.size());
+  serve::ServeConfig scfg;  // defaults: 2 lanes, max_batch 8
+  for (std::size_t t = 0; t < topos.size(); ++t) {
+    const double s = calibrate_service_ns(topos[t].machine);
+    capacity_rps[t] =
+        static_cast<double>(scfg.lanes * scfg.policy.max_batch) * 1e9 / s;
+  }
+
+  const int n = static_cast<int>(topos.size() * loads.size());
+  const auto results = fccbench::run_sweep<PointResult>(
+      "bench_serve_load", n, [&](int i) {
+        const std::size_t t = static_cast<std::size_t>(i) / loads.size();
+        const std::size_t l = static_cast<std::size_t>(i) % loads.size();
+        return run_point(topos[t], loads[l] * capacity_rps[t], num_reqs,
+                         /*seed=*/0x5e12f00d + static_cast<std::uint64_t>(l));
+      });
+
+  AsciiTable table({"topology", "load", "offered rps", "achieved rps",
+                    "done", "rej", "slo_viol", "p50 (us)", "p99 (us)",
+                    "p999 (us)"});
+  CsvWriter csv(fccbench::out_dir() + "/serve_load.csv",
+                {"topology", "load_frac", "offered_rps", "achieved_rps",
+                 "completed", "rejected", "slo_violations", "p50_us",
+                 "p99_us", "p999_us"});
+  for (int i = 0; i < n; ++i) {
+    const std::size_t t = static_cast<std::size_t>(i) / loads.size();
+    const std::size_t l = static_cast<std::size_t>(i) % loads.size();
+    const PointResult& r = results[static_cast<std::size_t>(i)];
+    table.add_row({topos[t].name, AsciiTable::fmt(loads[l], 2),
+                   AsciiTable::fmt(r.offered_rps, 0),
+                   AsciiTable::fmt(r.achieved_rps, 0),
+                   std::to_string(r.completed), std::to_string(r.rejected),
+                   std::to_string(r.slo_violations),
+                   AsciiTable::fmt(ns_to_us(r.p50), 1),
+                   AsciiTable::fmt(ns_to_us(r.p99), 1),
+                   AsciiTable::fmt(ns_to_us(r.p999), 1)});
+    csv.row(topos[t].name, loads[l], r.offered_rps, r.achieved_rps,
+            r.completed, r.rejected, r.slo_violations, ns_to_us(r.p50),
+            ns_to_us(r.p99), ns_to_us(r.p999));
+  }
+  std::cout << "Serving load sweep — open-loop Poisson firehose, "
+            << num_reqs << " requests/point, 3-class catalog\n";
+  table.print(std::cout);
+
+  // Knee check: p99 at the highest load must blow up vs the lightest load.
+  PerfJson perf;
+  const std::string perf_path = fccbench::out_dir() + "/host_perf.json";
+  perf.load(perf_path);
+  bool knee_everywhere = true;
+  for (std::size_t t = 0; t < topos.size(); ++t) {
+    const PointResult& lo = results[t * loads.size()];
+    const PointResult& hi = results[t * loads.size() + loads.size() - 1];
+    const double ratio = lo.p99 > 0 ? static_cast<double>(hi.p99) /
+                                          static_cast<double>(lo.p99)
+                                    : 0.0;
+    perf.set("bench_serve_load", topos[t].name + "_capacity_rps",
+             capacity_rps[t]);
+    perf.set("bench_serve_load", topos[t].name + "_knee_p99_ratio", ratio);
+    std::cout << topos[t].name << ": capacity "
+              << AsciiTable::fmt(capacity_rps[t], 0) << " rps, p99 "
+              << AsciiTable::fmt(ns_to_us(lo.p99), 1) << " -> "
+              << AsciiTable::fmt(ns_to_us(hi.p99), 1) << " us ("
+              << AsciiTable::fmt(ratio, 2) << "x)\n";
+    if (ratio <= 2.0) {
+      std::cout << "  NO VISIBLE KNEE (need > 2x)\n";
+      knee_everywhere = false;
+    }
+  }
+  perf.save(perf_path);
+  return knee_everywhere ? 0 : 1;
+}

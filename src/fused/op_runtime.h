@@ -70,16 +70,31 @@ class FlagSet {
   /// Modeled size of one flag PUT on the wire.
   static constexpr Bytes kFlagBytes = 8;
 
-  /// (Re)allocates flags[num_pes][n], all zero, dropping any previous run's
-  /// array and its waiters.
+  /// (Re)initializes flags[num_pes][n], all zero. A shape-matching array
+  /// from a previous run of the same operator is reset in place
+  /// (FlagArray::reset FCC_CHECKs no waiters survived the last drain — the
+  /// churn guard), so back-to-back serving runs allocate nothing; a shape
+  /// change reallocates. An operator's engine binding is fixed for life,
+  /// so reuse never has to re-home the wakeup engines.
   void reset(sim::Engine& engine, int num_pes, std::size_t n) {
+    if (flags_ != nullptr && flags_->num_pes() == num_pes &&
+        flags_->size() == n) {
+      flags_->reset();
+      return;
+    }
     flags_ = std::make_unique<shmem::FlagArray>(engine, num_pes, n);
   }
 
   /// Sharded-aware form: each PE's flags wake on its home-shard engine, so
   /// the set works on machines with num_shards > 1 (and is identical to the
-  /// single-engine form on serial machines).
+  /// single-engine form on serial machines). Same in-place reuse as above
+  /// (per-PE home engines never change for a given world).
   void reset(shmem::World& world, std::size_t n) {
+    if (flags_ != nullptr && flags_->num_pes() == world.n_pes() &&
+        flags_->size() == n) {
+      flags_->reset();
+      return;
+    }
     std::vector<sim::Engine*> engines(
         static_cast<std::size_t>(world.n_pes()));
     for (PeId pe = 0; pe < world.n_pes(); ++pe) {

@@ -1,0 +1,54 @@
+#include "serve/arrivals.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace fcc::serve {
+
+std::vector<Arrival> poisson_trace(double offered_rps, int num_requests,
+                                   std::uint64_t seed,
+                                   const std::vector<double>& class_weights) {
+  FCC_CHECK(offered_rps > 0.0);
+  FCC_CHECK(num_requests >= 0);
+  FCC_CHECK(!class_weights.empty());
+  double total_weight = 0.0;
+  for (const double w : class_weights) {
+    FCC_CHECK(w >= 0.0);
+    total_weight += w;
+  }
+  FCC_CHECK(total_weight > 0.0);
+
+  Rng rng(seed);
+  Rng gap_rng = rng.fork();
+  Rng cls_rng = rng.fork();
+  const double rate_per_ns = offered_rps / 1e9;
+
+  std::vector<Arrival> trace;
+  trace.reserve(static_cast<std::size_t>(num_requests));
+  TimeNs t = 0;
+  for (int i = 0; i < num_requests; ++i) {
+    // Inverse-CDF exponential gap; 1 - u keeps the argument in (0, 1].
+    const double u = gap_rng.next_double();
+    const double gap = -std::log(1.0 - u) / rate_per_ns;
+    t += std::max<TimeNs>(1, static_cast<TimeNs>(std::ceil(gap)));
+
+    double pick = cls_rng.next_double() * total_weight;
+    int cls = 0;
+    for (std::size_t c = 0; c < class_weights.size(); ++c) {
+      pick -= class_weights[c];
+      if (pick < 0.0) {
+        cls = static_cast<int>(c);
+        break;
+      }
+      // Rounding may leave pick >= 0 after the last class; fall through to
+      // the final class below.
+      cls = static_cast<int>(c);
+    }
+    trace.push_back(Arrival{t, cls});
+  }
+  return trace;
+}
+
+}  // namespace fcc::serve

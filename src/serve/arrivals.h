@@ -1,0 +1,32 @@
+// Open-loop arrival processes for the serving simulator.
+//
+// An arrival trace is plain data — (time, class) pairs, run-relative ns —
+// so the simulator replays synthetic Poisson firehoses and captured traces
+// through the same path, and the determinism suite can golden a trace and
+// diff per-request records across runs and host thread counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fcc::serve {
+
+struct Arrival {
+  TimeNs t = 0;  // run-relative arrival time
+  int cls = 0;   // index into the simulator's class catalog
+
+  bool operator==(const Arrival&) const = default;
+};
+
+/// Poisson process at `offered_rps` requests/second over `num_requests`
+/// arrivals, each assigned a class by `class_weights` (unnormalized; one
+/// weight per class). Deterministic in (seed, rps, n, weights): exponential
+/// inter-arrival gaps quantized up to >= 1 ns, class drawn per arrival from
+/// an independent stream.
+std::vector<Arrival> poisson_trace(double offered_rps, int num_requests,
+                                   std::uint64_t seed,
+                                   const std::vector<double>& class_weights);
+
+}  // namespace fcc::serve

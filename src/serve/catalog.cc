@@ -1,0 +1,92 @@
+#include "serve/catalog.h"
+
+#include "fused/embedding_a2a.h"
+#include "fused/gemm_a2a.h"
+#include "fused/gemv_allreduce.h"
+#include "fused/moe_dispatch.h"
+
+namespace fcc::serve {
+
+std::vector<ServeClass> default_catalog(int num_pes) {
+  std::vector<ServeClass> catalog;
+
+  {
+    // DLRM inference: pooled embedding exchange feeding a row-parallel MLP
+    // layer. The latency-critical ads path: priority 0, tightest SLO.
+    ServeClass dlrm;
+    dlrm.name = "dlrm";
+    dlrm.tenant = "ads";
+    dlrm.priority = 0;
+    dlrm.weight = 0.5;
+    dlrm.slo_ns = 200'000;
+    fused::EmbeddingA2AConfig emb;
+    emb.map.num_pes = num_pes;
+    emb.map.tables_per_pe = 4;
+    emb.map.global_batch = 32 * num_pes;
+    emb.map.dim = 64;
+    emb.map.vectors_per_slice = 8;
+    dlrm.chain.push_back(fw::make_spec("fcc::embedding_a2a", emb));
+    fused::GemvAllReduceConfig mlp;
+    mlp.m = 1024;
+    mlp.k_global = 256 * num_pes;
+    dlrm.chain.push_back(fw::make_spec("fcc::gemv_allreduce", mlp));
+    catalog.push_back(std::move(dlrm));
+  }
+
+  {
+    // MoE dispatch: routed All-to-All-v with a mildly hot expert. Batch
+    // search traffic tolerates more queueing: priority 1, looser SLO.
+    ServeClass moe;
+    moe.name = "moe";
+    moe.tenant = "search";
+    moe.priority = 1;
+    moe.weight = 0.3;
+    moe.slo_ns = 400'000;
+    fused::MoeDispatchConfig disp;
+    disp.tokens_per_pe = 128;
+    disp.d_model = 256;
+    disp.d_out = 256;
+    disp.hot_expert_factor = 2.0;
+    moe.chain.push_back(fw::make_spec("fcc::moe_dispatch", disp));
+    catalog.push_back(std::move(moe));
+  }
+
+  {
+    // Transformer decode step: row-parallel GEMV then the expert-combine
+    // GEMM+A2A. Interactive chat: priority 0.
+    ServeClass decode;
+    decode.name = "decode";
+    decode.tenant = "chat";
+    decode.priority = 0;
+    decode.weight = 0.2;
+    decode.slo_ns = 300'000;
+    fused::GemvAllReduceConfig qkv;
+    qkv.m = 512;
+    qkv.k_global = 256 * num_pes;
+    decode.chain.push_back(fw::make_spec("fcc::gemv_allreduce", qkv));
+    fused::GemmA2AConfig ffn;
+    ffn.rows_per_origin = 64;
+    ffn.d_model = 256;
+    ffn.d_ff = 512;
+    decode.chain.push_back(fw::make_spec("fcc::gemm_a2a", ffn));
+    catalog.push_back(std::move(decode));
+  }
+
+  return catalog;
+}
+
+std::vector<int> class_priorities(const std::vector<ServeClass>& catalog) {
+  std::vector<int> p;
+  p.reserve(catalog.size());
+  for (const ServeClass& c : catalog) p.push_back(c.priority);
+  return p;
+}
+
+std::vector<double> class_weights(const std::vector<ServeClass>& catalog) {
+  std::vector<double> w;
+  w.reserve(catalog.size());
+  for (const ServeClass& c : catalog) w.push_back(c.weight);
+  return w;
+}
+
+}  // namespace fcc::serve

@@ -1,0 +1,43 @@
+// Request catalog: the op chains a serving class executes per batch.
+//
+// A ServeClass is one tenant-visible request type — a short chain of
+// registry OpSpecs (dispatched through fw::OpRegistry, so any operator the
+// framework knows is servable) plus the scheduling metadata the batcher and
+// accounting need: priority, arrival-mix weight, and an SLO bound on total
+// latency. Chains describe one *batch* execution at the class's configured
+// shape — continuous batching packs up to `max_batch` requests into one
+// chain run (a partially filled batch pads, as static-shape GPU serving
+// does), so per-request service cost amortizes with batch fill.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "framework/op_registry.h"
+
+namespace fcc::serve {
+
+struct ServeClass {
+  std::string name;    // e.g. "dlrm"
+  std::string tenant;  // multi-tenant label, e.g. "ads"
+  int priority = 0;    // lower = more urgent (Batcher order)
+  double weight = 1.0; // unnormalized share of the arrival mix
+  TimeNs slo_ns = 0;   // total-latency SLO; 0 = no SLO accounting
+  std::vector<fw::OpSpec> chain;  // executed in order per batch
+};
+
+/// The default three-tenant mix, sized for quick timing-only runs on
+/// `num_pes` PEs (every spec is functional=false, null data):
+///   dlrm   — embedding+A2A then GEMV+AllReduce (ads, priority 0)
+///   moe    — routed MoE dispatch               (search, priority 1)
+///   decode — GEMV+AllReduce then GEMM+A2A      (chat, priority 0)
+std::vector<ServeClass> default_catalog(int num_pes);
+
+/// The classes' priorities in class order (Batcher constructor input).
+std::vector<int> class_priorities(const std::vector<ServeClass>& catalog);
+
+/// The classes' weights in class order (poisson_trace input).
+std::vector<double> class_weights(const std::vector<ServeClass>& catalog);
+
+}  // namespace fcc::serve

@@ -1,0 +1,166 @@
+#include "serve/simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace fcc::serve {
+
+double ServeReport::achieved_rps() const {
+  const TimeNs span = last_end - first_arrival;
+  if (span <= 0 || overall.completed == 0) return 0.0;
+  return static_cast<double>(overall.completed) /
+         (static_cast<double>(span) / 1e9);
+}
+
+Simulator::Simulator(gpu::Machine& machine, shmem::World& world,
+                     std::vector<ServeClass> catalog, ServeConfig cfg)
+    : machine_(machine),
+      world_(world),
+      catalog_(std::move(catalog)),
+      cfg_(cfg) {
+  FCC_CHECK_MSG(!machine_.is_sharded(),
+                "serve::Simulator needs a serial machine (num_shards == 1): "
+                "FusedOps are not shard-local yet");
+  FCC_CHECK_MSG(&world_.machine() == &machine_,
+                "world must be built over the simulator's machine");
+  FCC_CHECK(!catalog_.empty());
+  FCC_CHECK(cfg_.lanes >= 1);
+  for (const ServeClass& c : catalog_) FCC_CHECK(!c.chain.empty());
+
+  const fw::OpRegistry& registry = fw::OpRegistry::global();
+  lane_ops_.resize(static_cast<std::size_t>(cfg_.lanes));
+  for (auto& per_class : lane_ops_) {
+    per_class.resize(catalog_.size());
+    for (std::size_t c = 0; c < catalog_.size(); ++c) {
+      for (const fw::OpSpec& spec : catalog_[c].chain) {
+        per_class[c].push_back(
+            registry.at(spec.name).make(world_, spec, cfg_.backend));
+      }
+    }
+  }
+}
+
+ServeReport Simulator::run(const std::vector<Arrival>& trace) {
+  sim::Engine& engine = machine_.engine();
+  FCC_CHECK_MSG(engine.live_tasks() == 0,
+                "serve run started with live engine tasks");
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    FCC_CHECK(trace[i].cls >= 0 &&
+              trace[i].cls < static_cast<int>(catalog_.size()));
+    FCC_CHECK(trace[i].t >= 0);
+    FCC_CHECK_MSG(i == 0 || trace[i - 1].t <= trace[i].t,
+                  "arrival trace must be time-sorted");
+  }
+
+  base_ = engine.now();
+  batcher_ = std::make_unique<Batcher>(class_priorities(catalog_),
+                                       cfg_.policy);
+  work_ = std::make_unique<sim::Condition>(engine);
+  closed_ = false;
+  records_.assign(trace.size(), RequestRecord{});
+
+  arrival_proc(engine, trace);
+  for (int lane = 0; lane < cfg_.lanes; ++lane) lane_proc(engine, lane);
+  engine.run();
+
+  FCC_CHECK_MSG(engine.live_tasks() == 0,
+                "serving run deadlocked: " << engine.live_tasks()
+                                           << " task(s) still suspended");
+  FCC_CHECK(batcher_->empty());
+
+  ServeReport report;
+  report.records = std::move(records_);
+  report.per_class.resize(catalog_.size());
+  report.first_arrival = trace.empty() ? 0 : trace.front().t;
+  for (const RequestRecord& r : report.records) {
+    ClassStats& cs = report.per_class[static_cast<std::size_t>(r.cls)];
+    if (r.rejected) {
+      ++cs.rejected;
+      ++report.overall.rejected;
+      continue;
+    }
+    FCC_CHECK_MSG(r.end >= r.start && r.start >= r.arrival,
+                  "request " << r.id << " has an inconsistent timeline");
+    ++cs.completed;
+    ++report.overall.completed;
+    cs.queue.add(r.queue_ns());
+    cs.service.add(r.service_ns());
+    cs.total.add(r.total_ns());
+    report.overall.queue.add(r.queue_ns());
+    report.overall.service.add(r.service_ns());
+    report.overall.total.add(r.total_ns());
+    const TimeNs slo = catalog_[static_cast<std::size_t>(r.cls)].slo_ns;
+    if (slo > 0 && r.total_ns() > slo) {
+      ++cs.slo_violations;
+      ++report.overall.slo_violations;
+    }
+    report.last_end = std::max(report.last_end, r.end);
+  }
+
+  work_.reset();
+  batcher_.reset();
+  return report;
+}
+
+sim::Task Simulator::arrival_proc(sim::Engine& engine,
+                                  const std::vector<Arrival>& trace) {
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    co_await sim::delay_until(engine, base_ + trace[i].t);
+    const Request r{static_cast<int>(i), trace[i].cls, trace[i].t};
+    RequestRecord& rec = records_[i];
+    rec.id = r.id;
+    rec.cls = r.cls;
+    rec.arrival = r.arrival;
+    if (!batcher_->enqueue(r)) {
+      rec.rejected = true;
+      continue;
+    }
+    // Wake idle lanes now (the queue may have just filled a batch) and
+    // again when this request's batch window expires — by then the batch
+    // must dispatch even partially filled. Stale expiry ticks after the
+    // request is long served are harmless no-op broadcasts.
+    work_->notify_all();
+    engine.schedule_at(base_ + r.arrival + cfg_.policy.window_ns, [this] {
+      if (work_ != nullptr) work_->notify_all();
+    });
+  }
+  closed_ = true;
+  work_->notify_all();
+}
+
+sim::Task Simulator::lane_proc(sim::Engine& engine, int lane) {
+  for (;;) {
+    std::optional<Batch> batch = batcher_->poll(engine.now() - base_);
+    if (batch.has_value()) {
+      co_await serve_batch(lane, std::move(*batch));
+      continue;
+    }
+    if (closed_ && batcher_->empty()) break;
+    co_await work_->wait();
+  }
+  // Wake sibling lanes so they observe the closed queue and exit too
+  // (Condition FCC_CHECKs no waiters survive the run).
+  work_->notify_all();
+}
+
+sim::Co Simulator::serve_batch(int lane, Batch batch) {
+  sim::Engine& engine = machine_.engine();
+  const TimeNs start = engine.now() - base_;
+  auto& chain =
+      lane_ops_[static_cast<std::size_t>(lane)][static_cast<std::size_t>(
+          batch.cls)];
+  for (auto& op : chain) {
+    co_await op->spawn().wait();
+  }
+  const TimeNs end = engine.now() - base_;
+  for (const Request& r : batch.reqs) {
+    RequestRecord& rec = records_[static_cast<std::size_t>(r.id)];
+    rec.start = start;
+    rec.end = end;
+    rec.batch_size = static_cast<int>(batch.reqs.size());
+  }
+}
+
+}  // namespace fcc::serve

@@ -1,0 +1,130 @@
+// serve::Simulator — an open-loop serving loop over the operator registry.
+//
+// Where fw::Session runs one operator per call and fw::Graph overlaps a
+// handful of closed-loop requests, the serving simulator feeds an *open*
+// stream of arrivals (serve/arrivals.h) into one long-running engine run:
+// an arrival process admits requests into a continuous Batcher
+// (serve/batcher.h), and a small pool of service lanes — host-side
+// schedulers sharing one gpu::Machine — pulls batches and executes each
+// class's op chain via awaitable FusedOp::spawn(). Every operator instance
+// is constructed once (per lane x class x chain stage) and re-run for
+// thousands of batches, which is what makes this layer the churn
+// stress-test for spawn() reentrancy and FlagSet/FlagArray reuse.
+//
+// Accounting: per-request queue/service/total latency lands in both exact
+// per-request records (golden determinism diffs) and streaming
+// PercentileSketches per class (p50/p99/p999 at million-request scale
+// without per-sample storage), with SLO-violation and admission-reject
+// counters per tenant class.
+//
+// Time is run-relative: the engine clock at run() entry is the base, so
+// back-to-back runs on one warm simulator report identical records for
+// identical traces (asserted by tests/test_serve_churn.cc).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "framework/op_registry.h"
+#include "fused/op_runtime.h"
+#include "gpu/machine.h"
+#include "serve/arrivals.h"
+#include "serve/batcher.h"
+#include "serve/catalog.h"
+#include "shmem/world.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace fcc::serve {
+
+struct ServeConfig {
+  BatchPolicy policy;
+  /// Concurrent service lanes (batches in flight). Each lane owns its own
+  /// operator instances, so lanes overlap on the machine the way Graph
+  /// nodes do.
+  int lanes = 2;
+  fw::Backend backend = fw::Backend::kFused;
+};
+
+/// One request's exact timeline, run-relative ns. Rejected requests keep
+/// start/end at -1. Byte-comparable for determinism goldens.
+struct RequestRecord {
+  int id = 0;   // index in the arrival trace
+  int cls = 0;  // catalog class
+  TimeNs arrival = 0;
+  TimeNs start = -1;  // batch service start
+  TimeNs end = -1;    // batch service end
+  int batch_size = 0;
+  bool rejected = false;
+
+  bool operator==(const RequestRecord&) const = default;
+
+  TimeNs queue_ns() const { return start - arrival; }
+  TimeNs service_ns() const { return end - start; }
+  TimeNs total_ns() const { return end - arrival; }
+};
+
+struct ClassStats {
+  PercentileSketch queue;    // ns
+  PercentileSketch service;  // ns
+  PercentileSketch total;    // ns
+  std::int64_t completed = 0;
+  std::int64_t rejected = 0;
+  std::int64_t slo_violations = 0;
+
+  bool operator==(const ClassStats&) const = default;
+};
+
+struct ServeReport {
+  std::vector<RequestRecord> records;  // [trace index]
+  std::vector<ClassStats> per_class;   // [cls]
+  ClassStats overall;
+  TimeNs first_arrival = 0;
+  TimeNs last_end = 0;
+
+  /// Completed-request throughput over the span first_arrival..last_end.
+  double achieved_rps() const;
+};
+
+class Simulator {
+ public:
+  /// `world` must be built over `machine`; the machine must be serial
+  /// (num_shards == 1 — FusedOps are not shard-local yet, see ROADMAP).
+  /// Operator instances for every (lane, class, chain stage) are built here,
+  /// once, through the global OpRegistry.
+  Simulator(gpu::Machine& machine, shmem::World& world,
+            std::vector<ServeClass> catalog, ServeConfig cfg = {});
+
+  /// Replays `trace` (run-relative, time-sorted) to completion and returns
+  /// the report. Callable repeatedly; a warm simulator reuses every
+  /// operator, flag array, and engine slab from the previous run.
+  ServeReport run(const std::vector<Arrival>& trace);
+
+  const std::vector<ServeClass>& catalog() const { return catalog_; }
+  const ServeConfig& config() const { return cfg_; }
+
+ private:
+  sim::Task arrival_proc(sim::Engine& engine,
+                         const std::vector<Arrival>& trace);
+  sim::Task lane_proc(sim::Engine& engine, int lane);
+  sim::Co serve_batch(int lane, Batch batch);
+
+  gpu::Machine& machine_;
+  shmem::World& world_;
+  std::vector<ServeClass> catalog_;
+  ServeConfig cfg_;
+  /// [lane][cls][stage]; built once, re-spawned per batch.
+  std::vector<std::vector<std::vector<std::unique_ptr<fused::FusedOp>>>>
+      lane_ops_;
+
+  // ---- per-run state (valid only inside run()) ----
+  TimeNs base_ = 0;  // engine time at run() entry; records are times - base_
+  std::unique_ptr<Batcher> batcher_;
+  std::unique_ptr<sim::Condition> work_;  // "queue state changed" broadcast
+  bool closed_ = false;                   // arrival stream exhausted
+  std::vector<RequestRecord> records_;
+};
+
+}  // namespace fcc::serve

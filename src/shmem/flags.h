@@ -106,6 +106,32 @@ class FlagArray {
     return waiters_[flat(pe, i)].size();
   }
 
+  /// Waiters suspended anywhere in the array (leak checks under churn).
+  std::size_t total_waiters() const {
+    std::size_t n = 0;
+    for (const auto& ws : waiters_) n += ws.size();
+    return n;
+  }
+
+  /// Returns the array to its freshly-constructed state: all values zero,
+  /// per-flag wake-order sequences rewound. Serving workloads reuse one
+  /// array across back-to-back operator runs instead of reallocating;
+  /// resetting with a waiter still registered would strand its coroutine
+  /// forever (its threshold refers to the previous run's counter), so that
+  /// is checked loudly here rather than left to the destructor's DCHECK.
+  void reset() {
+    for ([[maybe_unused]] std::size_t f = 0; f < waiters_.size(); ++f) {
+      FCC_CHECK_MSG(waiters_[f].empty(),
+                    "FlagArray::reset with " << waiters_[f].size()
+                                             << " waiter(s) registered on "
+                                                "flag["
+                                             << f / n_ << "][" << f % n_
+                                             << "]");
+    }
+    std::fill(values_.begin(), values_.end(), 0);
+    std::fill(order_seq_.begin(), order_seq_.end(), 0);
+  }
+
  private:
   struct Waiter {
     std::uint64_t threshold;

@@ -1,0 +1,137 @@
+// Determinism of the serving layer: (seed, trace) fully determines every
+// per-request latency record — across fresh simulators, across repeated
+// runs on one warm simulator (run-relative time base), and across
+// FCC_SWEEP_THREADS settings when points run under the sweep runner.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "gpu/machine.h"
+#include "serve/arrivals.h"
+#include "serve/catalog.h"
+#include "serve/simulator.h"
+#include "shmem/world.h"
+#include "sweep_runner.h"
+
+namespace fcc::serve {
+namespace {
+
+gpu::Machine::Config one_node_four_gpus() {
+  gpu::Machine::Config mc;
+  mc.num_nodes = 1;
+  mc.gpus_per_node = 4;
+  return mc;
+}
+
+std::vector<Arrival> smoke_trace(std::uint64_t seed, int n = 80,
+                                 double rps = 4e4) {
+  const auto weights = class_weights(default_catalog(4));
+  return poisson_trace(rps, n, seed, weights);
+}
+
+/// Fresh machine + world + simulator, one run.
+ServeReport run_fresh(const std::vector<Arrival>& trace) {
+  gpu::Machine machine(one_node_four_gpus());
+  shmem::World world(machine);
+  Simulator sim(machine, world, default_catalog(machine.num_pes()));
+  return sim.run(trace);
+}
+
+TEST(ServeDeterminism, PoissonTraceIsSeedDeterministic) {
+  const auto weights = class_weights(default_catalog(4));
+  const auto a = poisson_trace(5e4, 200, 42, weights);
+  const auto b = poisson_trace(5e4, 200, 42, weights);
+  EXPECT_EQ(a, b);
+  const auto c = poisson_trace(5e4, 200, 43, weights);
+  EXPECT_NE(a, c);
+}
+
+TEST(ServeDeterminism, FreshRunsAreByteIdentical) {
+  const auto trace = smoke_trace(7);
+  const ServeReport r1 = run_fresh(trace);
+  const ServeReport r2 = run_fresh(trace);
+  EXPECT_EQ(r1.records, r2.records);
+  EXPECT_EQ(r1.per_class, r2.per_class);
+  EXPECT_EQ(r1.overall, r2.overall);
+  EXPECT_EQ(r1.last_end, r2.last_end);
+}
+
+TEST(ServeDeterminism, WarmSimulatorMatchesColdRun) {
+  // Run-relative timestamps: a warm simulator (engine clock, link free
+  // times, op allocations all advanced) must reproduce the cold run's
+  // records exactly.
+  const auto trace = smoke_trace(11);
+  const ServeReport cold = run_fresh(trace);
+
+  gpu::Machine machine(one_node_four_gpus());
+  shmem::World world(machine);
+  Simulator sim(machine, world, default_catalog(machine.num_pes()));
+  const ServeReport warm1 = sim.run(trace);
+  const ServeReport warm2 = sim.run(trace);
+  EXPECT_EQ(warm1.records, cold.records);
+  EXPECT_EQ(warm2.records, cold.records);
+  EXPECT_EQ(warm2.overall, cold.overall);
+}
+
+TEST(ServeDeterminism, TimelineInvariantsHold) {
+  const auto trace = smoke_trace(13, /*n=*/120);
+  const ServeReport report = run_fresh(trace);
+  ASSERT_EQ(report.records.size(), trace.size());
+  EXPECT_EQ(report.overall.completed + report.overall.rejected,
+            static_cast<std::int64_t>(trace.size()));
+  ServeConfig defaults;
+  for (const RequestRecord& r : report.records) {
+    EXPECT_EQ(r.arrival, trace[static_cast<std::size_t>(r.id)].t);
+    if (r.rejected) continue;
+    EXPECT_LE(r.arrival, r.start);
+    EXPECT_LE(r.start, r.end);
+    EXPECT_GE(r.batch_size, 1);
+    EXPECT_LE(r.batch_size, defaults.policy.max_batch);
+  }
+}
+
+TEST(ServeDeterminism, SweepThreadCountDoesNotChangeRecords) {
+  // Each sweep point builds its own machine, so points are independent —
+  // the parallel sweep runner must return index-ordered, byte-identical
+  // results no matter how many host threads execute it.
+  setenv("FCC_BENCH_OUT", "/tmp/fcc_test_serve_sweep_out", 1);
+  auto point = [](int i) {
+    const auto trace =
+        smoke_trace(1000 + static_cast<std::uint64_t>(i), /*n=*/60,
+                    /*rps=*/3e4 * (i + 1));
+    return run_fresh(trace).records;
+  };
+
+  setenv("FCC_SWEEP_THREADS", "1", 1);
+  const auto serial = fccbench::run_sweep<std::vector<RequestRecord>>(
+      "serve_determinism_serial", 4, point);
+  setenv("FCC_SWEEP_THREADS", "4", 1);
+  const auto parallel = fccbench::run_sweep<std::vector<RequestRecord>>(
+      "serve_determinism_parallel", 4, point);
+  unsetenv("FCC_SWEEP_THREADS");
+  unsetenv("FCC_BENCH_OUT");
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "sweep point " << i;
+  }
+}
+
+TEST(ServeDeterminism, BaselineBackendAlsoDeterministic) {
+  const auto trace = smoke_trace(17, /*n=*/40);
+  auto run_baseline = [&] {
+    gpu::Machine machine(one_node_four_gpus());
+    shmem::World world(machine);
+    ServeConfig cfg;
+    cfg.backend = fw::Backend::kBaseline;
+    Simulator sim(machine, world, default_catalog(machine.num_pes()), cfg);
+    return sim.run(trace);
+  };
+  const ServeReport a = run_baseline();
+  const ServeReport b = run_baseline();
+  EXPECT_EQ(a.records, b.records);
+}
+
+}  // namespace
+}  // namespace fcc::serve

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "fused/op_runtime.h"
 #include "gpu/machine.h"
 #include "shmem/flags.h"
 #include "shmem/sym_array.h"
@@ -311,6 +312,82 @@ TEST(World, IntraNodeStoreRidesFabric) {
   const auto& f = m.config().fabric;
   // issue overhead + 80k bytes / 80 B/ns + latency
   EXPECT_EQ(delivered, f.store_issue_overhead_ns + 1000 + f.latency_ns);
+}
+
+TEST(FlagArray, ResetRestoresFreshState) {
+  gpu::Machine m(one_node_four_gpus());
+  FlagArray flags(m.engine(), m.num_pes(), 4);
+  flags.set(0, 1, 7);
+  flags.add(2, 3, 5);
+  flags.set(3, 0, 1);
+  ASSERT_EQ(flags.total_waiters(), 0u);
+  flags.reset();
+  for (PeId pe = 0; pe < m.num_pes(); ++pe) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(flags.read(pe, i), 0u) << "flag[" << pe << "][" << i << "]";
+    }
+  }
+}
+
+TEST(FlagArray, ResetWithRegisteredWaiterThrows) {
+  // Resetting under a live waiter would strand the coroutine forever (its
+  // threshold can never be reached against zeroed counters) — the churn
+  // guard turns that silent deadlock into an immediate failure.
+  gpu::Machine m(one_node_four_gpus());
+  FlagArray flags(m.engine(), m.num_pes(), 2);
+  TimeNs woke_at = -1;
+  flag_waiter(m.engine(), flags, 0, 1, woke_at);
+  ASSERT_EQ(flags.total_waiters(), 1u);
+  EXPECT_THROW(flags.reset(), std::logic_error);
+  // Drain the waiter the legitimate way; reset is then allowed.
+  flags.set(0, 1, 1);
+  m.engine().run();
+  EXPECT_EQ(flags.total_waiters(), 0u);
+  flags.reset();
+  EXPECT_EQ(flags.read(0, 1), 0u);
+}
+
+TEST(FlagArray, ResetRewindsWakeOrderSequence) {
+  // A reset array must reproduce a fresh array's wake order exactly —
+  // including the registration-order tiebreak sequence, which also rewinds.
+  gpu::Machine m(one_node_four_gpus());
+  FlagArray flags(m.engine(), m.num_pes(), 1);
+  struct Recorder {
+    static sim::Task wait(sim::Engine&, FlagArray& f, std::uint64_t thr,
+                          int id, std::vector<int>& order) {
+      co_await f.wait_ge(0, 0, thr);
+      order.push_back(id);
+    }
+  };
+  auto run_round = [&] {
+    std::vector<int> order;
+    Recorder::wait(m.engine(), flags, 4, /*id=*/0, order);
+    Recorder::wait(m.engine(), flags, 2, /*id=*/1, order);
+    Recorder::wait(m.engine(), flags, 3, /*id=*/2, order);
+    flags.set(0, 0, 10);
+    m.engine().run();
+    return order;
+  };
+  const std::vector<int> first = run_round();
+  EXPECT_EQ(first, (std::vector<int>{0, 1, 2}));
+  flags.reset();
+  EXPECT_EQ(run_round(), first);
+}
+
+TEST(FlagSet, ShapeMatchingResetReusesTheArray) {
+  gpu::Machine m(one_node_four_gpus());
+  fused::FlagSet set;
+  set.reset(m.engine(), m.num_pes(), 4);
+  FlagArray* first = set.get();
+  ASSERT_NE(first, nullptr);
+  set->set(0, 1, 5);
+  // Same shape: the array is reset in place, not reallocated.
+  set.reset(m.engine(), m.num_pes(), 4);
+  EXPECT_EQ(set.get(), first);
+  EXPECT_EQ(set->read(0, 1), 0u);
+  // Shape change: reallocates.
+  set.reset(m.engine(), m.num_pes(), 8);
+  EXPECT_EQ(set->size(), 8u);
 }
 
 }  // namespace

@@ -39,20 +39,56 @@ TimeNs Communicator::reduce_cost(Bytes bytes) const {
   return static_cast<TimeNs>(static_cast<double>(bytes) / bw + 0.5);
 }
 
-AllReduceAlgo Communicator::select_allreduce() const {
+bool Communicator::hierarchy_eligible() const {
   const NodeGroups& g = groups_;
-  if (g.by_node.size() > 1 && g.uniform && g.by_node.front().size() > 1) {
+  return g.by_node.size() > 1 && g.uniform && g.by_node.front().size() > 1;
+}
+
+const std::vector<std::string>& Communicator::avoided_components() {
+  hw::Topology& topo = machine_.topology();
+  if (avoided_epoch_ != topo.fault_epoch()) {
+    avoided_ = topo.has_faults()
+                   ? topo.degraded_components(std::span<const PeId>(members_))
+                   : std::vector<std::string>{};
+    avoided_epoch_ = topo.fault_epoch();
+  }
+  return avoided_;
+}
+
+AllReduceAlgo Communicator::select_allreduce() {
+  if (hierarchy_eligible() && avoided_components().empty()) {
     return AllReduceAlgo::kHierarchical;
   }
   return AllReduceAlgo::kTwoPhaseDirect;
 }
 
-AllToAllAlgo Communicator::select_a2a() const {
-  const NodeGroups& g = groups_;
-  if (g.by_node.size() > 1 && g.uniform && g.by_node.front().size() > 1) {
+AllToAllAlgo Communicator::select_a2a() {
+  if (hierarchy_eligible() && avoided_components().empty()) {
     return AllToAllAlgo::kNodeAggregate;
   }
   return AllToAllAlgo::kPairwise;
+}
+
+DegradedPlan Communicator::degraded_plan() {
+  DegradedPlan plan;
+  plan.avoided = avoided_components();
+  plan.degraded = !plan.avoided.empty();
+  plan.allreduce = select_allreduce();
+  plan.a2a = select_a2a();
+  if (plan.degraded && hierarchy_eligible()) {
+    // The hierarchical AllReduce puts 1/g of the flat two-phase payload on
+    // the inter-node links (g lanes each carrying a 1/g shard); node
+    // aggregation collapses g*g NIC messages per node pair into one. Being
+    // pushed off them costs those factors back.
+    const double g = static_cast<double>(groups_.by_node.front().size());
+    if (plan.allreduce != AllReduceAlgo::kHierarchical) {
+      plan.allreduce_traffic_factor = g;
+    }
+    if (plan.a2a != AllToAllAlgo::kNodeAggregate) {
+      plan.a2a_message_factor = g * g;
+    }
+  }
+  return plan;
 }
 
 TimeNs Communicator::flat_direct_time(std::int64_t n_elems, TimeNs t0) {

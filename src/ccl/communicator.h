@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
@@ -52,6 +53,22 @@ struct FloatBufs {
   std::span<float> rank(int r) { return per_rank.at(static_cast<std::size_t>(r)); }
 };
 
+/// What kAuto resolved to on a (possibly) degraded fabric, and why. The
+/// traffic factors predict the inter-node byte inflation of the fallback
+/// relative to the hierarchical/aggregated algorithm it displaced (1.0 when
+/// nothing was displaced) — g and g^2 for g members per node, the staging
+/// ratios from the header comment above.
+struct DegradedPlan {
+  bool degraded = false;  // any unhealthy component in the span's reach
+  AllReduceAlgo allreduce = AllReduceAlgo::kTwoPhaseDirect;
+  AllToAllAlgo a2a = AllToAllAlgo::kPairwise;
+  /// Unhealthy component names the selection steered around (from
+  /// hw::Topology::degraded_components).
+  std::vector<std::string> avoided;
+  double allreduce_traffic_factor = 1.0;
+  double a2a_message_factor = 1.0;
+};
+
 class Communicator {
  public:
   Communicator(gpu::Machine& machine, std::vector<PeId> members);
@@ -68,9 +85,20 @@ class Communicator {
   sim::Co all_reduce(std::int64_t n_elems, FloatBufs bufs,
                      AllReduceAlgo algo = AllReduceAlgo::kAuto);
 
-  /// Algorithm kAuto resolves to for this communicator's span.
-  AllReduceAlgo select_allreduce() const;
-  AllToAllAlgo select_a2a() const;
+  /// Algorithm kAuto resolves to for this communicator's span. Selection
+  /// consults link health: the hierarchical/node-aggregated algorithms lean
+  /// on every node's NIC and scale-up fabric symmetrically, so a dead rail
+  /// or derated trunk in the span drops selection back to the flat
+  /// algorithms (which a dead component either reroutes under or fails
+  /// loudly via PartitionedFabricError). Non-const: degraded-component
+  /// queries are cached per fault epoch.
+  AllReduceAlgo select_allreduce();
+  AllToAllAlgo select_a2a();
+
+  /// Selection report for this span: what kAuto picks right now, which
+  /// unhealthy components it is avoiding, and the predicted traffic cost of
+  /// the fallback.
+  DegradedPlan degraded_plan();
 
   /// All-to-All: each rank sends `chunk_elems` fp32 to every rank (including
   /// its own local chunk copy). send/recv layout: rank-major chunks —
@@ -152,10 +180,20 @@ class Communicator {
   TimeNs pairwise_a2a_time(std::int64_t chunk_elems, TimeNs t0);
   TimeNs node_aggregate_a2a_time(std::int64_t chunk_elems, TimeNs t0);
 
+  /// True when the span's shape admits the hierarchical algorithms at all
+  /// (several nodes, uniform, several members each) — health aside.
+  bool hierarchy_eligible() const;
+
+  /// Unhealthy components in the span's reach, cached per fault epoch so
+  /// steady-state selection on a stable fabric costs one counter compare.
+  const std::vector<std::string>& avoided_components();
+
   gpu::Machine& machine_;
   std::vector<PeId> members_;
   NodeGroups groups_;
   TimeNs last_duration_ = 0;
+  std::vector<std::string> avoided_;
+  std::uint64_t avoided_epoch_ = ~std::uint64_t{0};
 };
 
 }  // namespace fcc::ccl

@@ -55,6 +55,7 @@ FusedEmbeddingAllToAll::FusedEmbeddingAllToAll(shmem::World& world,
           {.override_slots = cfg_.occupancy_slots_override,
            .knee_frac = ops::kFusedEmbeddingCurve.knee_frac})
           .slots;
+  register_debug_flags("sliceRdy", slice_rdy_);
 }
 
 std::size_t FusedEmbeddingAllToAll::flag_index(PeId src, int table,

@@ -51,6 +51,7 @@ FusedGemmAllToAll::FusedGemmAllToAll(shmem::World& world, GemmA2AConfig cfg,
   if (cfg_.functional) {
     FCC_CHECK(data_ != nullptr && data_->out != nullptr);
   }
+  register_debug_flags("arrivals", arrivals_);
 }
 
 PeId FusedGemmAllToAll::origin_of_tile(int pid) const {

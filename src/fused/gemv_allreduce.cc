@@ -51,6 +51,8 @@ FusedGemvAllReduce::FusedGemvAllReduce(shmem::World& world,
   if (cfg_.functional) {
     FCC_CHECK(data_ != nullptr && data_->y != nullptr);
   }
+  register_debug_flags("arrive", arrive_flags_);
+  register_debug_flags("bcast", bcast_flags_);
 }
 
 PeId FusedGemvAllReduce::owner_of_tile(int tile) const {

@@ -257,6 +257,7 @@ FusedMoeDispatch::FusedMoeDispatch(shmem::World& world, MoeDispatchConfig cfg,
       plans_(resolve_plans(cfg, data, world.n_pes())),
       layout_(DispatchLayout::build(plans_, cfg.block_m)) {
   if (cfg_.functional) check_functional_data(cfg_, data_, layout_);
+  register_debug_flags("arrivals", arrivals_);
 }
 
 sim::Co FusedMoeDispatch::run() {

@@ -76,17 +76,66 @@ void FusedOp::finish_run_uniform() {
 namespace {
 
 sim::Task pe_task(sim::Engine&, std::function<sim::Co(PeId)> body, PeId pe,
-                  sim::JoinCounter& done) {
+                  std::vector<std::uint8_t>& pe_done, sim::JoinCounter& done) {
   co_await body(pe);
+  pe_done[static_cast<std::size_t>(pe)] = 1;
   done.arrive();
 }
 
 }  // namespace
 
 sim::Co FusedOp::run_per_pe(int num_pes, std::function<sim::Co(PeId)> body) {
+  pe_done_.assign(static_cast<std::size_t>(num_pes), 0);
   sim::JoinCounter done(engine(), num_pes);
-  for (PeId pe = 0; pe < num_pes; ++pe) pe_task(engine(), body, pe, done);
+  for (PeId pe = 0; pe < num_pes; ++pe) {
+    pe_task(engine(), body, pe, pe_done_, done);
+  }
   co_await done.wait();
+}
+
+void FusedOp::register_debug_flags(std::string name, const FlagSet& flags) {
+  debug_flags_.emplace_back(std::move(name), &flags);
+}
+
+std::string FusedOp::deadlock_report() const {
+  constexpr std::size_t kMaxListed = 8;
+  std::string out;
+  std::size_t stuck = 0;
+  for (std::uint8_t d : pe_done_) stuck += d == 0 ? 1 : 0;
+  if (stuck > 0) {
+    out += "\n  stuck PE tasks (" + std::to_string(stuck) + "/" +
+           std::to_string(pe_done_.size()) + "):";
+    std::size_t listed = 0;
+    for (std::size_t pe = 0; pe < pe_done_.size() && listed < kMaxListed;
+         ++pe) {
+      if (pe_done_[pe] != 0) continue;
+      out += " pe" + std::to_string(pe);
+      ++listed;
+    }
+    if (stuck > listed) {
+      out += " +" + std::to_string(stuck - listed) + " more";
+    }
+  }
+  for (const auto& [flag_name, set] : debug_flags_) {
+    if (set == nullptr || !*set) continue;
+    const auto waits = set->get()->pending_waits();
+    if (waits.empty()) continue;
+    out += "\n  unsatisfied waits on '" + flag_name + "' (" +
+           std::to_string(waits.size()) + "):";
+    for (std::size_t i = 0; i < waits.size() && i < kMaxListed; ++i) {
+      const auto& w = waits[i];
+      out += " [pe" + std::to_string(w.pe) + "][" + std::to_string(w.index) +
+             "]=" + std::to_string(w.value) + "<" +
+             std::to_string(w.threshold);
+    }
+    if (waits.size() > kMaxListed) {
+      out += " +" + std::to_string(waits.size() - kMaxListed) + " more";
+    }
+  }
+  if (out.empty()) {
+    out = "\n  (no stuck-PE or registered-flag diagnostics available)";
+  }
+  return out;
 }
 
 sim::OneShot& FusedOp::spawn() {
@@ -109,7 +158,7 @@ OperatorResult FusedOp::run_to_completion() {
   eng.run();
   FCC_CHECK_MSG(done.is_set() && eng.live_tasks() == 0,
                 name() << " deadlocked: " << eng.live_tasks()
-                       << " tasks suspended");
+                       << " tasks suspended" << deadlock_report());
   return result_;
 }
 

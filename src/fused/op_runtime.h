@@ -19,8 +19,11 @@
 //   * watch_completion / watch_join — per-PE completion-time recorders.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -179,15 +182,30 @@ class FusedOp {
   /// Spawns `body(pe)` for every PE in [0, num_pes) as engine tasks and
   /// suspends until all complete — the per-PE spawn/drain scaffold every
   /// operator's compute phase repeats. Per-PE completion stamps (pe_end)
-  /// belong inside `body`.
+  /// belong inside `body`. Tracks which PE tasks have finished, so a
+  /// deadlocked run can report exactly which PEs are stuck.
   sim::Co run_per_pe(int num_pes, std::function<sim::Co(PeId)> body);
+
+  /// Registers a FlagSet for deadlock diagnostics: when run_to_completion
+  /// detects a hang, the report lists this set's unsatisfied wait_ge's by
+  /// `name`. Call once per set, typically in the constructor; the FlagSet
+  /// must outlive the operator (it is a member of the derived class).
+  void register_debug_flags(std::string name, const FlagSet& flags);
 
   shmem::World& world_;
   OperatorResult result_;
 
+ public:
+  /// Diagnostic appendix for the deadlock FCC_CHECK: per-PE stuck/done
+  /// state from the last run_per_pe, plus every unsatisfied wait_ge on the
+  /// registered FlagSets ("[pe3][5]=2<4": flag[3][5] is 2, waiter needs 4).
+  std::string deadlock_report() const;
+
  private:
   /// Completion event of the in-flight (or last) spawn(); see spawn().
   std::unique_ptr<sim::OneShot> completion_;
+  std::vector<std::pair<std::string, const FlagSet*>> debug_flags_;
+  std::vector<std::uint8_t> pe_done_;  // last run_per_pe's completion bits
 };
 
 /// Every PE of the machine, in id order (ccl communicator construction).

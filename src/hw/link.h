@@ -20,13 +20,17 @@ class Link {
   Link(std::string name, double bytes_per_ns, TimeNs latency_ns)
       : name_(std::move(name)),
         bytes_per_ns_(bytes_per_ns),
+        bw_(bytes_per_ns),
         latency_ns_(latency_ns) {
     FCC_CHECK(bytes_per_ns > 0);
     FCC_CHECK(latency_ns >= 0);
   }
 
   const std::string& name() const { return name_; }
-  double bandwidth() const { return bytes_per_ns_; }
+  /// Current (possibly derated) bandwidth; equals the constructed nominal
+  /// bandwidth bit-exactly while the link is healthy.
+  double bandwidth() const { return bw_; }
+  double nominal_bandwidth() const { return bytes_per_ns_; }
   TimeNs latency() const { return latency_ns_; }
 
   /// Earliest time a new transfer could start occupying the link, given it
@@ -35,16 +39,18 @@ class Link {
     return ready > next_free_ ? ready : next_free_;
   }
 
-  /// Duration `bytes` occupy the link (serialization delay, no latency).
+  /// Duration `bytes` occupy the link (serialization delay, no latency), at
+  /// the current (possibly derated) bandwidth.
   TimeNs occupancy(Bytes bytes) const {
     FCC_CHECK(bytes >= 0);
-    return static_cast<TimeNs>(
-        static_cast<double>(bytes) / bytes_per_ns_ + 0.5);
+    return static_cast<TimeNs>(static_cast<double>(bytes) / bw_ + 0.5);
   }
 
   /// Reserves the interval [start, end) on the link. `start` must be at or
-  /// after the current horizon (FIFO order).
+  /// after the current horizon (FIFO order). Routing must never reserve a
+  /// dead link (resolution reroutes or throws PartitionedFabricError).
   void occupy_interval(TimeNs start, TimeNs end) {
+    FCC_DCHECK(!dead_);
     FCC_CHECK(start >= next_free_);
     FCC_CHECK(end >= start);
     busy_ns_ += end - start;
@@ -53,13 +59,13 @@ class Link {
   }
 
   /// FIFO transfer submitted at `ready`; returns delivery-complete time at
-  /// the far side (occupancy end + propagation latency).
+  /// the far side (occupancy end + propagation latency + fault jitter).
   TimeNs submit(TimeNs ready, Bytes bytes) {
     const TimeNs start = earliest_start(ready);
     const TimeNs end = start + occupancy(bytes);
     occupy_interval(start, end);
     total_bytes_ += bytes;
-    return end + latency_ns_;
+    return end + latency_ns_ + jitter_ns_;
   }
 
   TimeNs next_free() const { return next_free_; }
@@ -69,14 +75,46 @@ class Link {
 
   void add_bytes(Bytes b) { total_bytes_ += b; }
 
+  // ---- fault-injection health (hw/fault.h) --------------------------------
+  // Healthy defaults are arithmetic identities (bw_ == nominal, + 0 jitter),
+  // so a link that never saw a fault times transfers bit-identically to the
+  // pre-fault-model Link.
+  bool dead() const { return dead_; }
+  double derate() const { return derate_; }
+  TimeNs jitter_ns() const { return jitter_ns_; }
+  bool healthy() const {
+    return !dead_ && derate_ == 1.0 && jitter_ns_ == 0;
+  }
+  void set_dead(bool dead) { dead_ = dead; }
+  void set_derate(double f) {
+    FCC_CHECK_MSG(f > 0.0 && f <= 1.0,
+                  name_ << ": derate must be in (0, 1], got " << f);
+    derate_ = f;
+    bw_ = bytes_per_ns_ * f;
+  }
+  void set_jitter(TimeNs j) {
+    FCC_CHECK(j >= 0);
+    jitter_ns_ = j;
+  }
+  void restore() {
+    dead_ = false;
+    derate_ = 1.0;
+    jitter_ns_ = 0;
+    bw_ = bytes_per_ns_;
+  }
+
  private:
   std::string name_;
-  double bytes_per_ns_;
+  double bytes_per_ns_;  // nominal
+  double bw_;            // current = nominal * derate_
   TimeNs latency_ns_;
   TimeNs next_free_ = 0;
   TimeNs busy_ns_ = 0;
   Bytes total_bytes_ = 0;
   std::int64_t transfers_ = 0;
+  bool dead_ = false;
+  double derate_ = 1.0;
+  TimeNs jitter_ns_ = 0;
 };
 
 /// Cut-through reservation across a multi-hop route: all hops are occupied

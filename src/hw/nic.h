@@ -26,8 +26,11 @@ class Nic {
   const IbSpec& spec() const { return spec_; }
 
   /// Posts one RDMA write of `bytes`, ready at `ready`. Returns the time the
-  /// payload is fully visible in remote memory.
+  /// payload is fully visible in remote memory. Routing must never post
+  /// through a dead NIC (resolution fails over or throws
+  /// PartitionedFabricError first).
   TimeNs post(TimeNs ready, Bytes bytes) {
+    FCC_DCHECK(!dead_);
     const TimeNs proc_start = ready > proc_free_ ? ready : proc_free_;
     const TimeNs proc_end = proc_start + spec_.per_msg_proc_ns;
     proc_free_ = proc_end;
@@ -38,12 +41,21 @@ class Nic {
   std::int64_t messages() const { return messages_; }
   const Link& wire() const { return wire_; }
 
+  // ---- fault-injection health (hw/fault.h) --------------------------------
+  // Derate/jitter faults against a NIC site land on its wire; kDead drops
+  // the whole NIC (rail failure), which multi-rail routing fails over.
+  bool dead() const { return dead_; }
+  void set_dead(bool dead) { dead_ = dead; }
+  bool healthy() const { return !dead_ && wire_.healthy(); }
+  Link& wire_mutable() { return wire_; }
+
  private:
   std::string name_;
   IbSpec spec_;
   Link wire_;
   TimeNs proc_free_ = 0;
   std::int64_t messages_ = 0;
+  bool dead_ = false;
 };
 
 }  // namespace fcc::hw

@@ -31,6 +31,144 @@ Route& Topology::scratch() {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Fault injection & health (hw/fault.h)
+
+const std::vector<FaultSite>& Topology::fault_sites() {
+  if (!sites_built_) {
+    collect_fault_sites(sites_);
+    sites_built_ = true;
+  }
+  return sites_;
+}
+
+int Topology::fault_site_index(const std::string& name) {
+  const auto& sites = fault_sites();
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (sites[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Topology::apply_fault(const FaultEvent& ev) {
+  fault_sites();  // ensure built
+  FCC_CHECK_MSG(ev.site >= 0 && ev.site < static_cast<int>(sites_.size()),
+                kind_name() << ": fault site " << ev.site
+                            << " out of range (have " << sites_.size()
+                            << ")");
+  FaultSite& s = sites_[static_cast<std::size_t>(ev.site)];
+  // Derate/jitter against a NIC site land on its wire.
+  Link* wire = s.link != nullptr ? s.link : &s.nic->wire_mutable();
+  switch (ev.kind) {
+    case FaultKind::kDead:
+      FCC_CHECK_MSG(s.can_die, "fault site " << s.name
+                                             << " cannot be killed (derate/"
+                                                "jitter-only site)");
+      if (s.nic != nullptr) {
+        s.nic->set_dead(true);
+      } else {
+        s.link->set_dead(true);
+      }
+      break;
+    case FaultKind::kDerate:
+      wire->set_derate(ev.derate);
+      break;
+    case FaultKind::kJitter:
+      wire->set_jitter(ev.jitter_ns);
+      break;
+    case FaultKind::kRepair:
+      if (s.nic != nullptr) s.nic->set_dead(false);
+      wire->restore();
+      break;
+  }
+  faulted_ = 0;
+  for (const FaultSite& site : sites_) {
+    if (!site.healthy()) ++faulted_;
+  }
+  ++fault_epoch_;
+  faults_changed();
+}
+
+std::vector<std::string> Topology::active_faults() {
+  std::vector<std::string> out;
+  for (const FaultSite& s : fault_sites()) {
+    if (!s.healthy()) out.push_back(s.name);
+  }
+  return out;
+}
+
+std::vector<std::string> Topology::degraded_components(
+    std::span<const PeId> pes) {
+  std::vector<std::string> out;
+  if (faulted_ == 0) return out;
+  const auto& sites = fault_sites();
+
+  std::vector<NodeId> nodes;
+  for (PeId pe : pes) {
+    const NodeId n = node_of(pe);
+    if (std::find(nodes.begin(), nodes.end(), n) == nodes.end()) {
+      nodes.push_back(n);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+
+  auto add = [&out](const std::string& name) {
+    if (std::find(out.begin(), out.end(), name) == out.end()) {
+      out.push_back(name);
+    }
+  };
+
+  // Unhealthy components on member nodes (dead/derated rails, switch ports)
+  // hurt any algorithm whose lanes spread over the node's local GPUs.
+  for (const FaultSite& s : sites) {
+    if (s.healthy()) continue;
+    if (std::binary_search(nodes.begin(), nodes.end(), s.node)) add(s.name);
+  }
+
+  // Routes between member-node pairs: ideal-path casualties the reroute is
+  // detouring around, plus unhealthy components the actual route crosses
+  // (derated trunks / torus links on intermediate nodes).
+  Route r;
+  std::vector<std::string> casualties;
+  for (NodeId a : nodes) {
+    for (NodeId b : nodes) {
+      if (a == b) continue;
+      casualties.clear();
+      route_casualties(a, b, casualties);
+      for (const std::string& c : casualties) add(c);
+      r.clear();
+      try {
+        resolve(a * gpus_per_node(), b * gpus_per_node(), r);
+      } catch (const PartitionedFabricError&) {
+        continue;  // the dead components are already reported above
+      }
+      for (const Link* hop : r.hops) {
+        if (!hop->healthy()) add(hop->name());
+      }
+      if (r.nic != nullptr && !r.nic->healthy()) add(r.nic->name());
+    }
+  }
+  return out;
+}
+
+void Topology::guard_route(PeId src, PeId dst, Route& route) const {
+  for (const Link* hop : route.hops) {
+    if (hop->dead()) {
+      throw PartitionedFabricError(
+          "route pe" + std::to_string(src) + " -> pe" + std::to_string(dst) +
+              " crosses dead link " + hop->name() + " (no alternative path)",
+          src, dst);
+    }
+    route.latency_ns += hop->jitter_ns();
+  }
+  if (route.nic != nullptr && route.nic->dead()) {
+    throw PartitionedFabricError(
+        "route pe" + std::to_string(src) + " -> pe" + std::to_string(dst) +
+            " needs dead NIC " + route.nic->name(),
+        src, dst);
+  }
+}
+
 namespace {
 
 /// Pure propagation floor of a resolved route: hop latencies plus, when the
@@ -109,6 +247,7 @@ void FullyConnectedTopology::resolve(PeId src, PeId dst, Route& route) {
       route.nic = nics_[static_cast<std::size_t>(node_of(src))].get();
       break;
   }
+  if (faulted()) guard_route(src, dst, route);
 }
 
 TimeNs FullyConnectedTopology::write_time(PeId src, PeId dst, Bytes bytes,
@@ -120,7 +259,25 @@ TimeNs FullyConnectedTopology::write_time(PeId src, PeId dst, Bytes bytes,
     return fabrics_[static_cast<std::size_t>(node_of(src))]->transfer(
         local_index(src), local_index(dst), bytes, ready);
   }
-  return nics_[static_cast<std::size_t>(node_of(src))]->post(ready, bytes);
+  Nic* nic = nics_[static_cast<std::size_t>(node_of(src))].get();
+  if (faulted() && nic->dead()) {
+    throw PartitionedFabricError(
+        "route pe" + std::to_string(src) + " -> pe" + std::to_string(dst) +
+            " needs dead NIC " + nic->name(),
+        src, dst);
+  }
+  return nic->post(ready, bytes);
+}
+
+void FullyConnectedTopology::collect_fault_sites(std::vector<FaultSite>& out) {
+  // The NIC is the kill switch for a node's scale-out path; its wire is the
+  // derate/jitter surface (a browned-out IB cable).
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    Nic* nic = nics_[static_cast<std::size_t>(n)].get();
+    out.push_back({nic->name(), n, nullptr, nic, /*can_die=*/true});
+    out.push_back({nic->wire().name(), n, &nic->wire_mutable(), nullptr,
+                   /*can_die=*/false});
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -178,6 +335,30 @@ void SwitchedTopology::resolve(PeId src, PeId dst, Route& route) {
       route.nic = nics_[static_cast<std::size_t>(node_of(src))].get();
       break;
   }
+  if (faulted()) guard_route(src, dst, route);
+}
+
+void SwitchedTopology::collect_fault_sites(std::vector<FaultSite>& out) {
+  // Per-GPU switch ports (a dead downlink isolates that GPU's ingress), the
+  // shared trunk when modelled, and the node NIC + wire.
+  for (PeId pe = 0; pe < num_pes(); ++pe) {
+    const NodeId n = node_of(pe);
+    out.push_back({up_[static_cast<std::size_t>(pe)]->name(), n,
+                   up_[static_cast<std::size_t>(pe)].get(), nullptr,
+                   /*can_die=*/true});
+    out.push_back({down_[static_cast<std::size_t>(pe)]->name(), n,
+                   down_[static_cast<std::size_t>(pe)].get(), nullptr,
+                   /*can_die=*/true});
+  }
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    if (Link* t = trunk_[static_cast<std::size_t>(n)].get()) {
+      out.push_back({t->name(), n, t, nullptr, /*can_die=*/true});
+    }
+    Nic* nic = nics_[static_cast<std::size_t>(n)].get();
+    out.push_back({nic->name(), n, nullptr, nic, /*can_die=*/true});
+    out.push_back({nic->wire().name(), n, &nic->wire_mutable(), nullptr,
+                   /*can_die=*/false});
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -217,7 +398,8 @@ void MultiRailTopology::resolve(PeId src, PeId dst, Route& route) {
                       dst, route);
       break;
     case RouteClass::kInterNode:
-      route.nic = rail(node_of(src), local_index(src) % rails_);
+      route.nic = faulted() ? alive_rail(src, dst)
+                            : rail(node_of(src), local_index(src) % rails_);
       break;
   }
 }
@@ -228,7 +410,36 @@ TimeNs MultiRailTopology::write_time(PeId src, PeId dst, Bytes bytes,
     return fabrics_[static_cast<std::size_t>(node_of(src))]->transfer(
         local_index(src), local_index(dst), bytes, ready);
   }
-  return rail(node_of(src), local_index(src) % rails_)->post(ready, bytes);
+  Nic* nic = faulted() ? alive_rail(src, dst)
+                       : rail(node_of(src), local_index(src) % rails_);
+  return nic->post(ready, bytes);
+}
+
+Nic* MultiRailTopology::alive_rail(PeId src, PeId dst) {
+  const NodeId node = node_of(src);
+  const int base = local_index(src) % rails_;
+  for (int k = 0; k < rails_; ++k) {
+    Nic* cand = rail(node, (base + k) % rails_);
+    if (!cand->dead()) return cand;
+  }
+  throw PartitionedFabricError(
+      "route pe" + std::to_string(src) + " -> pe" + std::to_string(dst) +
+          ": all " + std::to_string(rails_) + " rails of node" +
+          std::to_string(node) + " are dead",
+      src, dst);
+}
+
+void MultiRailTopology::collect_fault_sites(std::vector<FaultSite>& out) {
+  // Rails are the canonical redundant component: killing one exercises
+  // failover onto the surviving rails, killing all partitions the node.
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    for (int r = 0; r < rails_; ++r) {
+      Nic* nic = rail(n, r);
+      out.push_back({nic->name(), n, nullptr, nic, /*can_die=*/true});
+      out.push_back({nic->wire().name(), n, &nic->wire_mutable(), nullptr,
+                     /*can_die=*/false});
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -275,6 +486,44 @@ int ring_steps(int a, int b, int n, int tie_parity) {
   return (tie_parity % 2 == 0) ? fwd : -bwd;  // fwd == bwd == n/2
 }
 
+/// Walks the dimension-ordered route from node `sn` to `dn`, calling
+/// fn(node, dir) for each hop taken (dir: 0=+x, 1=-x, 2=+y, 3=-y). Tie
+/// parity is always the source node's x+y, matching the historical route
+/// choice regardless of dimension order; `x_first=false` gives the y-then-x
+/// mirror the degraded router tries as its first detour.
+template <typename Fn>
+void dor_walk(const TorusSpec& spec, NodeId sn, NodeId dn, bool x_first,
+              Fn&& fn) {
+  int x = sn % spec.dim_x, y = sn / spec.dim_x;
+  const int dx = dn % spec.dim_x, dy = dn / spec.dim_x;
+  const int parity = x + y;
+  auto walk_x = [&] {
+    int steps = ring_steps(x, dx, spec.dim_x, parity);
+    while (steps != 0) {
+      const int dir = steps > 0 ? 0 : 1;  // +x / -x
+      fn(static_cast<NodeId>(y * spec.dim_x + x), dir);
+      x = (x + (steps > 0 ? 1 : spec.dim_x - 1)) % spec.dim_x;
+      steps += steps > 0 ? -1 : 1;
+    }
+  };
+  auto walk_y = [&] {
+    int steps = ring_steps(y, dy, spec.dim_y, parity);
+    while (steps != 0) {
+      const int dir = steps > 0 ? 2 : 3;  // +y / -y
+      fn(static_cast<NodeId>(y * spec.dim_x + x), dir);
+      y = (y + (steps > 0 ? 1 : spec.dim_y - 1)) % spec.dim_y;
+      steps += steps > 0 ? -1 : 1;
+    }
+  };
+  if (x_first) {
+    walk_x();
+    walk_y();
+  } else {
+    walk_y();
+    walk_x();
+  }
+}
+
 }  // namespace
 
 int TorusTopology::hop_count(NodeId src, NodeId dst) const {
@@ -297,28 +546,121 @@ void TorusTopology::resolve(PeId src, PeId dst, Route& route) {
                       dst, route);
       break;
     case RouteClass::kInterNode: {
+      if (faulted()) {
+        degraded_route(src, dst, route);
+        break;
+      }
       // Dimension-ordered: walk the x ring to the destination column, then
       // the y ring to the destination row.
-      const NodeId sn = node_of(src), dn = node_of(dst);
-      int x = node_x(sn), y = node_y(sn);
-      const int parity = x + y;
-      int steps = ring_steps(x, node_x(dn), spec_.dim_x, parity);
-      while (steps != 0) {
-        const int dir = steps > 0 ? 0 : 1;  // +x / -x
-        route.hops.push_back(link(node_at(x, y), dir));
-        x = (x + (steps > 0 ? 1 : spec_.dim_x - 1)) % spec_.dim_x;
-        steps += steps > 0 ? -1 : 1;
-      }
-      steps = ring_steps(y, node_y(dn), spec_.dim_y, parity);
-      while (steps != 0) {
-        const int dir = steps > 0 ? 2 : 3;  // +y / -y
-        route.hops.push_back(link(node_at(x, y), dir));
-        y = (y + (steps > 0 ? 1 : spec_.dim_y - 1)) % spec_.dim_y;
-        steps += steps > 0 ? -1 : 1;
-      }
+      dor_walk(spec_, node_of(src), node_of(dst), /*x_first=*/true,
+               [&](NodeId node, int dir) {
+                 route.hops.push_back(link(node, dir));
+               });
       route.latency_ns =
           static_cast<TimeNs>(route.hops.size()) * spec_.link_latency_ns;
       break;
+    }
+  }
+}
+
+NodeId TorusTopology::neighbor(NodeId n, int dir) const {
+  int x = node_x(n), y = node_y(n);
+  switch (dir) {
+    case 0: x = (x + 1) % spec_.dim_x; break;
+    case 1: x = (x + spec_.dim_x - 1) % spec_.dim_x; break;
+    case 2: y = (y + 1) % spec_.dim_y; break;
+    default: y = (y + spec_.dim_y - 1) % spec_.dim_y; break;
+  }
+  return node_at(x, y);
+}
+
+void TorusTopology::degraded_route(PeId src, PeId dst, Route& route) {
+  const NodeId sn = node_of(src), dn = node_of(dst);
+  const std::size_t nodes = static_cast<std::size_t>(num_nodes());
+  if (detour_dirs_.empty()) detour_dirs_.resize(nodes * nodes);
+  std::vector<std::uint8_t>& dirs =
+      detour_dirs_[static_cast<std::size_t>(sn) * nodes +
+                   static_cast<std::size_t>(dn)];
+  // An inter-node route has >= 1 hop, so empty means "not yet computed".
+  if (dirs.empty()) dirs = compute_detour(sn, dn, src, dst);
+  NodeId n = sn;
+  TimeNs jitter = 0;
+  for (std::uint8_t d : dirs) {
+    Link* l = link(n, d);
+    route.hops.push_back(l);
+    jitter += l->jitter_ns();
+    n = neighbor(n, d);
+  }
+  route.latency_ns =
+      static_cast<TimeNs>(route.hops.size()) * spec_.link_latency_ns + jitter;
+}
+
+std::vector<std::uint8_t> TorusTopology::compute_detour(NodeId sn, NodeId dn,
+                                                        PeId src, PeId dst) {
+  // Minimal-hop candidates first: the canonical x-then-y route, then its
+  // y-then-x mirror (dodges a dead link in the other dimension's ring).
+  for (bool x_first : {true, false}) {
+    std::vector<std::uint8_t> dirs;
+    bool alive = true;
+    dor_walk(spec_, sn, dn, x_first, [&](NodeId node, int dir) {
+      if (link(node, dir)->dead()) alive = false;
+      dirs.push_back(static_cast<std::uint8_t>(dir));
+    });
+    if (alive) return dirs;
+  }
+  // Deterministic BFS over alive links (fixed direction order), shortest
+  // surviving path by hop count.
+  const int nodes = num_nodes();
+  std::vector<int> prev(static_cast<std::size_t>(nodes), -1);
+  std::vector<std::uint8_t> prev_dir(static_cast<std::size_t>(nodes), 0);
+  std::vector<NodeId> queue;
+  queue.push_back(sn);
+  prev[static_cast<std::size_t>(sn)] = sn;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId n = queue[head];
+    if (n == dn) break;
+    for (int dir = 0; dir < 4; ++dir) {
+      if (dir < 2 ? spec_.dim_x <= 1 : spec_.dim_y <= 1) continue;
+      if (link(n, dir)->dead()) continue;
+      const NodeId m = neighbor(n, dir);
+      if (prev[static_cast<std::size_t>(m)] >= 0) continue;
+      prev[static_cast<std::size_t>(m)] = n;
+      prev_dir[static_cast<std::size_t>(m)] = static_cast<std::uint8_t>(dir);
+      queue.push_back(m);
+    }
+  }
+  if (prev[static_cast<std::size_t>(dn)] < 0) {
+    throw PartitionedFabricError(
+        "torus partitioned: no alive path node" + std::to_string(sn) +
+            " -> node" + std::to_string(dn) + " (pe" + std::to_string(src) +
+            " -> pe" + std::to_string(dst) + ")",
+        src, dst);
+  }
+  std::vector<std::uint8_t> dirs;
+  for (NodeId n = dn; n != sn; n = prev[static_cast<std::size_t>(n)]) {
+    dirs.push_back(prev_dir[static_cast<std::size_t>(n)]);
+  }
+  std::reverse(dirs.begin(), dirs.end());
+  return dirs;
+}
+
+void TorusTopology::route_casualties(NodeId src_node, NodeId dst_node,
+                                     std::vector<std::string>& out) {
+  dor_walk(spec_, src_node, dst_node, /*x_first=*/true,
+           [&](NodeId node, int dir) {
+             Link* l = link(node, dir);
+             if (l->dead()) out.push_back(l->name());
+           });
+}
+
+void TorusTopology::collect_fault_sites(std::vector<FaultSite>& out) {
+  // Only directions with a real ring; a 1-wide dimension's links exist but
+  // are never routed over, so faulting them would be dead code.
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    for (int d = 0; d < 4; ++d) {
+      if (d < 2 ? spec_.dim_x <= 1 : spec_.dim_y <= 1) continue;
+      Link* l = link(n, d);
+      out.push_back({l->name(), n, l, nullptr, /*can_die=*/true});
     }
   }
 }

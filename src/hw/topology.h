@@ -27,13 +27,16 @@
 // plumbs it under gpu::Machine unchanged.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/check.h"
 #include "common/types.h"
 #include "hw/fabric.h"
+#include "hw/fault.h"
 #include "hw/gpu_spec.h"
 #include "hw/link.h"
 #include "hw/nic.h"
@@ -198,11 +201,68 @@ class Topology {
   virtual Fabric* node_fabric(NodeId) { return nullptr; }
   virtual Nic* node_nic(NodeId) { return nullptr; }
 
+  // ---- fault injection & health (hw/fault.h) ------------------------------
+
+  /// Every fault-capable component of this fabric, in a stable enumeration
+  /// order (lazily built once). Fabric ports are deliberately not sites:
+  /// they have no reroute alternative and the NIC/trunk/ring layers are
+  /// where real fabrics brown out.
+  const std::vector<FaultSite>& fault_sites();
+
+  /// Index of the site named `name`, or -1 (bench scenario tables key
+  /// faults by component name).
+  int fault_site_index(const std::string& name);
+
+  /// Applies one event now. Health changes take effect on the next route
+  /// resolution; `faults_changed()` lets subclasses drop route caches.
+  void apply_fault(const FaultEvent& ev);
+
+  bool has_faults() const { return faulted_ > 0; }
+
+  /// Monotone counter bumped by every apply_fault — consumers (ccl) cache
+  /// degraded-plan decisions keyed on it.
+  std::uint64_t fault_epoch() const { return fault_epoch_; }
+
+  /// Names of currently-unhealthy sites, in site order.
+  std::vector<std::string> active_faults();
+
+  /// Unhealthy components a communicator spanning `pes` is exposed to:
+  /// unhealthy sites on member nodes (rails, ports) plus any unhealthy or
+  /// dead component on the routes between member-node pairs (including
+  /// ideal-path casualties a detour steered around). Empty on a healthy
+  /// fabric; deduplicated, deterministic order.
+  std::vector<std::string> degraded_components(std::span<const PeId> pes);
+
  private:
   int num_nodes_;
   int gpus_per_node_;
+  std::vector<FaultSite> sites_;
+  bool sites_built_ = false;
+  int faulted_ = 0;  // count of unhealthy sites
+  std::uint64_t fault_epoch_ = 0;
 
  protected:
+  /// Subclass hook: enumerate this fabric's fault sites (called once).
+  virtual void collect_fault_sites(std::vector<FaultSite>&) {}
+
+  /// Subclass hook: health state changed (drop detour/route caches).
+  virtual void faults_changed() {}
+
+  /// Subclass hook: dead components the *ideal* (healthy-fabric) route
+  /// between two nodes would traverse — components a degraded route is
+  /// detouring around (torus overrides; fabrics whose reroutes stay on
+  /// member-node sites need not).
+  virtual void route_casualties(NodeId, NodeId, std::vector<std::string>&) {}
+
+  /// True once any site is unhealthy; resolution paths branch into their
+  /// health-aware variants only then, keeping the healthy hot path (and its
+  /// golden-traced timings) untouched.
+  bool faulted() const { return faulted_ > 0; }
+
+  /// Shared post-resolve health guard: throws PartitionedFabricError when
+  /// the route crosses a dead link or NIC, and folds per-hop fault jitter
+  /// into the route's propagation latency. Call only when faulted().
+  void guard_route(PeId src, PeId dst, Route& route) const;
   /// Per-thread scratch route buffer: steady-state resolution stays
   /// allocation-free, and shard threads reserving source-local routes
   /// concurrently (see inter_node_state_src_local) never share it.
@@ -232,6 +292,9 @@ class FullyConnectedTopology final : public Topology {
   Fabric* node_fabric(NodeId node) override { return fabrics_.at(node).get(); }
   Nic* node_nic(NodeId node) override { return nics_.at(node).get(); }
 
+ protected:
+  void collect_fault_sites(std::vector<FaultSite>& out) override;
+
  private:
   std::vector<std::unique_ptr<Fabric>> fabrics_;
   std::vector<std::unique_ptr<Nic>> nics_;
@@ -251,6 +314,9 @@ class SwitchedTopology final : public Topology {
   const SwitchedSpec& spec() const { return spec_; }
   const Link& uplink(PeId pe) const { return *up_.at(pe); }
   const Link& downlink(PeId pe) const { return *down_.at(pe); }
+
+ protected:
+  void collect_fault_sites(std::vector<FaultSite>& out) override;
 
  private:
   SwitchedSpec spec_;
@@ -283,7 +349,15 @@ class MultiRailTopology final : public Topology {
         .get();
   }
 
+ protected:
+  void collect_fault_sites(std::vector<FaultSite>& out) override;
+
  private:
+  /// Degraded-fabric failover: the source's affinity rail if alive, else
+  /// the first surviving rail scanning (affinity + k) % rails; throws
+  /// PartitionedFabricError when every rail of the node is dead.
+  Nic* alive_rail(PeId src, PeId dst);
+
   int rails_;
   std::vector<std::unique_ptr<Fabric>> fabrics_;
   std::vector<std::unique_ptr<Nic>> nics_;  // node-major, rails per node
@@ -339,15 +413,30 @@ class TorusTopology final : public Topology {
                       static_cast<std::size_t>(dir));
   }
 
+ protected:
+  void collect_fault_sites(std::vector<FaultSite>& out) override;
+  /// Health changes invalidate every cached detour.
+  void faults_changed() override { detour_dirs_.clear(); }
+  void route_casualties(NodeId src_node, NodeId dst_node,
+                        std::vector<std::string>& out) override;
+
  private:
   int node_x(NodeId n) const { return n % spec_.dim_x; }
   int node_y(NodeId n) const { return n / spec_.dim_x; }
   NodeId node_at(int x, int y) const { return y * spec_.dim_x + x; }
+  NodeId neighbor(NodeId n, int dir) const;
   Link* link(NodeId node, int dir) {
     return links_[static_cast<std::size_t>(node) * 4 +
                   static_cast<std::size_t>(dir)]
         .get();
   }
+  /// Faulted-fabric route between nodes: dimension-ordered if every hop is
+  /// alive, else the y-then-x detour, else a deterministic BFS over alive
+  /// links; throws PartitionedFabricError when no path survives. Hop
+  /// directions are cached per (src, dst) node pair until the next fault.
+  void degraded_route(PeId src, PeId dst, Route& route);
+  std::vector<std::uint8_t> compute_detour(NodeId sn, NodeId dn, PeId src,
+                                           PeId dst);
   /// One dimension-ordered A2A stage over the `along_x` rings; returns the
   /// stage completion (start + busiest-link drain + worst hop latency).
   TimeNs a2a_stage(bool along_x, Bytes per_pair, TimeNs start);
@@ -359,6 +448,10 @@ class TorusTopology final : public Topology {
   TorusSpec spec_;
   std::vector<std::unique_ptr<Link>> links_;  // 4 per node: +x, -x, +y, -y
   std::vector<std::unique_ptr<Fabric>> fabrics_;  // gpus_per_node > 1 only
+  /// [src * nodes + dst] hop-direction sequence on the faulted fabric;
+  /// empty = not yet computed. Cleared by faults_changed(), sized lazily on
+  /// the first degraded resolve (healthy runs never allocate it).
+  std::vector<std::vector<std::uint8_t>> detour_dirs_;
 };
 
 /// Builds the topology a Machine::Config asks for.

@@ -14,7 +14,7 @@ Batcher::Batcher(std::vector<int> class_priorities, BatchPolicy policy)
   FCC_CHECK(!priorities_.empty());
   FCC_CHECK(policy_.max_batch >= 1);
   FCC_CHECK(policy_.window_ns >= 0);
-  FCC_CHECK(policy_.queue_capacity >= 1);
+  FCC_CHECK(policy_.queue_capacity >= 0);
   FCC_CHECK(policy_.starvation_limit >= 1);
 }
 

@@ -29,7 +29,9 @@ struct BatchPolicy {
   int max_batch = 8;
   /// Oldest-request age at which a partial batch dispatches anyway.
   TimeNs window_ns = 2000;
-  /// Per-class queue bound; enqueue past it is an admission reject.
+  /// Per-class queue bound; enqueue past it is an admission reject. 0 is
+  /// legal and rejects every request (a fully shedding server), never
+  /// divides or hangs.
   int queue_capacity = 64;
   /// Consecutive pass-overs (while dispatchable) before a class preempts
   /// higher-priority classes.

@@ -60,6 +60,9 @@ ServeReport Simulator::run(const std::vector<Arrival>& trace) {
   work_ = std::make_unique<sim::Condition>(engine);
   closed_ = false;
   records_.assign(trace.size(), RequestRecord{});
+  ema_.assign(catalog_.size(), 0.0);
+  base_sum_.assign(catalog_.size(), 0);
+  base_n_.assign(catalog_.size(), 0);
 
   arrival_proc(engine, trace);
   for (int lane = 0; lane < cfg_.lanes; ++lane) lane_proc(engine, lane);
@@ -76,6 +79,11 @@ ServeReport Simulator::run(const std::vector<Arrival>& trace) {
   report.first_arrival = trace.empty() ? 0 : trace.front().t;
   for (const RequestRecord& r : report.records) {
     ClassStats& cs = report.per_class[static_cast<std::size_t>(r.cls)];
+    if (r.shed) {
+      ++cs.shed;
+      ++report.overall.shed;
+      continue;
+    }
     if (r.rejected) {
       ++cs.rejected;
       ++report.overall.rejected;
@@ -83,6 +91,17 @@ ServeReport Simulator::run(const std::vector<Arrival>& trace) {
     }
     FCC_CHECK_MSG(r.end >= r.start && r.start >= r.arrival,
                   "request " << r.id << " has an inconsistent timeline");
+    cs.retries += r.attempts - 1;
+    report.overall.retries += r.attempts - 1;
+    if (r.timed_out) {
+      // Served too late to count: excluded from the latency sketches (their
+      // tail would be the retry budget, not the service distribution), but
+      // still paces last_end — the machine did the work.
+      ++cs.timeouts;
+      ++report.overall.timeouts;
+      report.last_end = std::max(report.last_end, r.end);
+      continue;
+    }
     ++cs.completed;
     ++report.overall.completed;
     cs.queue.add(r.queue_ns());
@@ -113,6 +132,10 @@ sim::Task Simulator::arrival_proc(sim::Engine& engine,
     rec.id = r.id;
     rec.cls = r.cls;
     rec.arrival = r.arrival;
+    if (cfg_.brownout.enabled && browned_out(r.cls)) {
+      rec.shed = true;
+      continue;
+    }
     if (!batcher_->enqueue(r)) {
       rec.rejected = true;
       continue;
@@ -147,20 +170,63 @@ sim::Task Simulator::lane_proc(sim::Engine& engine, int lane) {
 
 sim::Co Simulator::serve_batch(int lane, Batch batch) {
   sim::Engine& engine = machine_.engine();
-  const TimeNs start = engine.now() - base_;
+  const TimeNs slo = catalog_[static_cast<std::size_t>(batch.cls)].slo_ns;
+  const TimeNs deadline =
+      cfg_.timeout.slo_factor > 0.0 && slo > 0
+          ? batch.reqs.front().arrival +
+                static_cast<TimeNs>(cfg_.timeout.slo_factor *
+                                    static_cast<double>(slo))
+          : -1;
   auto& chain =
       lane_ops_[static_cast<std::size_t>(lane)][static_cast<std::size_t>(
           batch.cls)];
-  for (auto& op : chain) {
-    co_await op->spawn().wait();
+  int attempts = 0;
+  bool timed_out = false;
+  TimeNs start = 0, end = 0;
+  for (;;) {
+    ++attempts;
+    start = engine.now() - base_;
+    for (auto& op : chain) {
+      co_await op->spawn().wait();
+    }
+    end = engine.now() - base_;
+    if (deadline < 0 || end <= deadline) break;
+    if (attempts > cfg_.timeout.max_retries) {
+      timed_out = true;
+      break;
+    }
+    co_await sim::delay(engine, cfg_.timeout.backoff_ns << (attempts - 1));
   }
-  const TimeNs end = engine.now() - base_;
+  note_service(batch.cls, end - start);
   for (const Request& r : batch.reqs) {
     RequestRecord& rec = records_[static_cast<std::size_t>(r.id)];
     rec.start = start;
     rec.end = end;
     rec.batch_size = static_cast<int>(batch.reqs.size());
+    rec.attempts = attempts;
+    rec.timed_out = timed_out;
   }
+}
+
+void Simulator::note_service(int cls, TimeNs service_ns) {
+  if (!cfg_.brownout.enabled) return;
+  const auto c = static_cast<std::size_t>(cls);
+  if (base_n_[c] < cfg_.brownout.baseline_batches) {
+    base_sum_[c] += service_ns;
+    ++base_n_[c];
+    ema_[c] = static_cast<double>(base_sum_[c]) / base_n_[c];
+    return;
+  }
+  ema_[c] += cfg_.brownout.ema_alpha * (static_cast<double>(service_ns) -
+                                        ema_[c]);
+}
+
+bool Simulator::browned_out(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  if (base_n_[c] < cfg_.brownout.baseline_batches) return false;
+  const double healthy =
+      static_cast<double>(base_sum_[c]) / base_n_[c];
+  return ema_[c] > cfg_.brownout.drift_factor * healthy;
 }
 
 }  // namespace fcc::serve

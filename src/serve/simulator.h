@@ -39,6 +39,31 @@
 
 namespace fcc::serve {
 
+/// Deadline handling for served batches. Disabled by default (slo_factor
+/// 0): every batch runs once and its latency is whatever it is, the
+/// pre-timeout behaviour. Enabled, a batch whose execution finishes after
+/// `slo_factor x` its class SLO (measured from the oldest member's arrival)
+/// is re-executed with exponential backoff up to `max_retries` times — the
+/// model of a degraded fabric stalling a batch past usefulness and the
+/// server trying again — and marked timed out when the budget is exhausted.
+struct TimeoutPolicy {
+  double slo_factor = 0.0;  // deadline = arrival + slo_factor * slo_ns; <= 0 off
+  int max_retries = 1;
+  TimeNs backoff_ns = 20'000;  // doubled per retry
+};
+
+/// Brownout-aware load shedding. The first `baseline_batches` per class
+/// calibrate a healthy service-time baseline; afterwards an EMA tracks the
+/// live service time, and while it drifts above `drift_factor x` baseline
+/// the class sheds new arrivals at admission (before they ever queue).
+/// Deterministic: the EMA is a pure function of the served-batch sequence.
+struct BrownoutPolicy {
+  bool enabled = false;
+  double drift_factor = 2.0;
+  double ema_alpha = 0.2;
+  int baseline_batches = 4;
+};
+
 struct ServeConfig {
   BatchPolicy policy;
   /// Concurrent service lanes (batches in flight). Each lane owns its own
@@ -46,18 +71,23 @@ struct ServeConfig {
   /// nodes do.
   int lanes = 2;
   fw::Backend backend = fw::Backend::kFused;
+  TimeoutPolicy timeout;
+  BrownoutPolicy brownout;
 };
 
-/// One request's exact timeline, run-relative ns. Rejected requests keep
-/// start/end at -1. Byte-comparable for determinism goldens.
+/// One request's exact timeline, run-relative ns. Rejected and shed
+/// requests keep start/end at -1. Byte-comparable for determinism goldens.
 struct RequestRecord {
   int id = 0;   // index in the arrival trace
   int cls = 0;  // catalog class
   TimeNs arrival = 0;
-  TimeNs start = -1;  // batch service start
-  TimeNs end = -1;    // batch service end
+  TimeNs start = -1;  // batch service start (final attempt)
+  TimeNs end = -1;    // batch service end (final attempt)
   int batch_size = 0;
   bool rejected = false;
+  int attempts = 0;       // executions of the request's batch (0 if unserved)
+  bool timed_out = false;  // retry budget exhausted past the deadline
+  bool shed = false;       // dropped at admission by brownout shedding
 
   bool operator==(const RequestRecord&) const = default;
 
@@ -70,9 +100,12 @@ struct ClassStats {
   PercentileSketch queue;    // ns
   PercentileSketch service;  // ns
   PercentileSketch total;    // ns
-  std::int64_t completed = 0;
+  std::int64_t completed = 0;  // served in time (excludes timeouts)
   std::int64_t rejected = 0;
   std::int64_t slo_violations = 0;
+  std::int64_t timeouts = 0;  // served but past deadline after all retries
+  std::int64_t retries = 0;   // extra batch executions (attempts - 1, summed)
+  std::int64_t shed = 0;      // brownout admission drops
 
   bool operator==(const ClassStats&) const = default;
 };
@@ -111,6 +144,11 @@ class Simulator {
   sim::Task lane_proc(sim::Engine& engine, int lane);
   sim::Co serve_batch(int lane, Batch batch);
 
+  /// Brownout bookkeeping: feeds one served batch's service time into the
+  /// class's baseline/EMA; queries whether admission is currently shedding.
+  void note_service(int cls, TimeNs service_ns);
+  bool browned_out(int cls) const;
+
   gpu::Machine& machine_;
   shmem::World& world_;
   std::vector<ServeClass> catalog_;
@@ -125,6 +163,10 @@ class Simulator {
   std::unique_ptr<sim::Condition> work_;  // "queue state changed" broadcast
   bool closed_ = false;                   // arrival stream exhausted
   std::vector<RequestRecord> records_;
+  // Brownout state, per class, reset each run.
+  std::vector<double> ema_;          // live service-time EMA (ns)
+  std::vector<TimeNs> base_sum_;     // calibration window sum
+  std::vector<int> base_n_;          // calibration batches seen
 };
 
 }  // namespace fcc::serve

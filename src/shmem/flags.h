@@ -113,6 +113,28 @@ class FlagArray {
     return n;
   }
 
+  /// One suspended wait_ge: flag[pe][index] is at `value`, the waiter needs
+  /// `threshold`. Snapshot for deadlock diagnostics.
+  struct PendingWait {
+    PeId pe = 0;
+    std::size_t index = 0;
+    std::uint64_t value = 0;
+    std::uint64_t threshold = 0;
+  };
+
+  /// Every currently-suspended waiter, in (flag, threshold) order — what a
+  /// deadlocked operator is actually blocked on (FusedOp::deadlock_report).
+  std::vector<PendingWait> pending_waits() const {
+    std::vector<PendingWait> out;
+    for (std::size_t f = 0; f < waiters_.size(); ++f) {
+      for (const Waiter& w : waiters_[f]) {
+        out.push_back({static_cast<PeId>(f / n_), f % n_, values_[f],
+                       w.threshold});
+      }
+    }
+    return out;
+  }
+
   /// Returns the array to its freshly-constructed state: all values zero,
   /// per-flag wake-order sequences rewound. Serving workloads reuse one
   /// array across back-to-back operator runs instead of reallocating;

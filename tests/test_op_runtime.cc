@@ -3,6 +3,9 @@
 // and OperatorResult::skew() edge cases.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "fused/op_runtime.h"
 #include "gpu/machine.h"
 
@@ -243,6 +246,64 @@ TEST(OperatorResult, SkewMeasuresRelativeSpread) {
   r.end = 100;
   r.pe_end = {60, 100};
   EXPECT_DOUBLE_EQ(r.skew(), 0.4);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock diagnostics
+// ---------------------------------------------------------------------------
+
+/// PE 0 waits on a flag nobody sets; PE 1 completes. The deadlock check
+/// must name the stuck PE and the unsatisfied wait_ge.
+class StuckOp final : public FusedOp {
+ public:
+  explicit StuckOp(shmem::World& world) : FusedOp(world) {
+    register_debug_flags("gate", gate_);
+  }
+  const char* name() const override { return "stuck_op"; }
+  gpu::KernelResources resources() const override { return {}; }
+  sim::Co run() override {
+    const int pes = world_.n_pes();
+    gate_.reset(engine(), pes, 2);
+    begin_run(pes);
+    co_await run_per_pe(pes, [this](PeId pe) { return pe_body(pe); });
+    finish_run_uniform();
+  }
+  void unstick() { gate_->set(0, 1, 3); }
+
+ private:
+  sim::Co pe_body(PeId pe) {
+    if (pe == 0) {
+      co_await gate_->wait_ge(0, 1, 3);
+    }
+  }
+  FlagSet gate_;
+};
+
+TEST(FusedOpDriver, DeadlockCheckNamesStuckPesAndUnsatisfiedWaits) {
+  gpu::Machine::Config cfg;
+  cfg.num_nodes = 1;
+  cfg.gpus_per_node = 2;
+  gpu::Machine machine(cfg);
+  shmem::World world(machine);
+
+  StuckOp op(world);
+  try {
+    op.run_to_completion();
+    FAIL() << "expected the deadlock check to fire";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("stuck_op deadlocked"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("stuck PE tasks (1/2): pe0"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("unsatisfied waits on 'gate' (1): [pe0][1]=0<3"),
+              std::string::npos)
+        << msg;
+  }
+  // Satisfy the wait and drain so the stranded run finishes instead of
+  // leaking suspended coroutine frames.
+  op.unstick();
+  machine.engine().run();
+  EXPECT_EQ(machine.engine().live_tasks(), 0);
 }
 
 }  // namespace

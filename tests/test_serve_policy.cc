@@ -160,6 +160,21 @@ TEST(Batcher, FullBatchDispatchesImmediately) {
   EXPECT_EQ(batch->reqs.size(), 4u);
 }
 
+TEST(Batcher, ZeroCapacityRejectsInsteadOfDividingOrHanging) {
+  // queue_capacity = 0 is the fully-shedding server: every enqueue is an
+  // admission reject, poll never produces, next_deadline never arms.
+  BatchPolicy p = small_policy();
+  p.queue_capacity = 0;
+  Batcher b({0, 1}, p);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(b.enqueue({i, i % 2, TimeNs(i * 10)}));
+  }
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.queued(0), 0u);
+  EXPECT_FALSE(b.poll(1'000'000).has_value());
+  EXPECT_EQ(b.next_deadline(), Batcher::kNoDeadline);
+}
+
 TEST(Batcher, RejectsPastQueueCapacityAndRecoversAfterDrain) {
   Batcher b({0}, small_policy());
   for (int i = 0; i < 6; ++i) EXPECT_TRUE(b.enqueue({i, 0, 0}));

@@ -1,0 +1,99 @@
+#include "framework/fingerprint.h"
+
+#include <sstream>
+#include <vector>
+
+#include "hw/topology.h"
+
+namespace fcc::fw {
+
+GraphFingerprint graph_fingerprint(const Graph& graph,
+                                   const OpRegistry& registry) {
+  GraphFingerprint fp;
+  std::ostringstream os;
+  // Renumber nodes over live ones so a graph that arrives pre-lowered and
+  // the same graph lowered in place fingerprint identically.
+  std::vector<int> live_index(static_cast<std::size_t>(graph.num_nodes()), -1);
+  int next = 0;
+  for (int i = 0; i < graph.num_nodes(); ++i) {
+    if (!graph.node(i).fused_away) live_index[static_cast<std::size_t>(i)] = next++;
+  }
+  for (int i = 0; i < graph.num_nodes(); ++i) {
+    const GraphNode& node = graph.node(i);
+    if (node.fused_away) continue;
+    os << node.spec.name << '[';
+    if (registry.contains(node.spec.name)) {
+      const OpEntry& entry = registry.at(node.spec.name);
+      if (entry.shape_key != nullptr) {
+        try {
+          os << entry.shape_key(node.spec);
+        } catch (const SpecTypeError& e) {
+          // A mis-typed config fails here, before any pass runs — attach
+          // the node's identity so the caller can report which one.
+          throw SpecTypeError(std::string("fingerprinting graph node '") +
+                              node.label + "': " + e.what());
+        }
+      } else {
+        os << '?';
+        fp.exact = false;
+      }
+    } else {
+      // Unlowered pattern nodes ("aten::mv") carry their config on the
+      // producer and have no registry entry; shape is not recoverable.
+      os << '?';
+      fp.exact = false;
+    }
+    os << "](";
+    bool first = true;
+    for (int d : node.deps) {
+      os << (first ? "" : ",") << live_index[static_cast<std::size_t>(d)];
+      first = false;
+    }
+    os << ");";
+  }
+  fp.key = os.str();
+  return fp;
+}
+
+std::string topology_fingerprint(const gpu::Machine::Config& config) {
+  std::ostringstream os;
+  os << "nodes=" << config.num_nodes << ";gpn=" << config.gpus_per_node
+     << ";gpu={cus=" << config.gpu.num_cus
+     << ",wgs=" << config.gpu.max_wgs_per_cu
+     << ",vgprs=" << config.gpu.vgprs_per_cu
+     << ",hbm=" << config.gpu.hbm_bytes_per_ns
+     << ",flops=" << config.gpu.fp32_flops_per_ns
+     << ",sat=" << config.gpu.alu_saturation_wgs
+     << ",launch=" << config.gpu.kernel_launch_ns
+     << ",sync=" << config.gpu.stream_sync_ns << "}"
+     << ";fabric={bw=" << config.fabric.port_bytes_per_ns
+     << ",lat=" << config.fabric.latency_ns
+     << ",issue=" << config.fabric.store_issue_overhead_ns << "}"
+     << ";ib={bw=" << config.ib.wire_bytes_per_ns
+     << ",lat=" << config.ib.wire_latency_ns
+     << ",msg=" << config.ib.per_msg_proc_ns
+     << ",post=" << config.ib.gpu_post_overhead_ns << "}";
+  os << ";topo=";
+  switch (config.topology.kind) {
+    case hw::TopologySpec::Kind::kFullyConnected:
+      os << "fully_connected";
+      break;
+    case hw::TopologySpec::Kind::kSwitchedNode:
+      os << "switched{port=" << config.topology.switched.port_bytes_per_ns
+         << ",hop=" << config.topology.switched.hop_latency_ns
+         << ",trunk=" << config.topology.switched.trunk_bytes_per_ns << "}";
+      break;
+    case hw::TopologySpec::Kind::kMultiRail:
+      os << "multi_rail{rails=" << config.topology.nic_rails << "}";
+      break;
+    case hw::TopologySpec::Kind::kTorus2D:
+      os << "torus{x=" << config.topology.torus.dim_x
+         << ",y=" << config.topology.torus.dim_y
+         << ",bw=" << config.topology.torus.link_bytes_per_ns
+         << ",lat=" << config.topology.torus.link_latency_ns << "}";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace fcc::fw

@@ -1,0 +1,45 @@
+// Canonical fingerprints for plan caching.
+//
+// A plan is reusable exactly when (a) the graph has the same shape — same
+// live ops, same per-op problem sizes, same dependency structure — and
+// (b) the machine it will run on is the same — same GPU/fabric/NIC specs
+// and the same topology kind and parameters. Both are rendered as
+// canonical *strings* (not hashes), so two distinct graphs can never
+// collide into one cache entry; the plan cache keys on the concatenation.
+//
+// Per-op problem sizes come from the registry's `shape_key` hook (set by
+// each operator's TU next to its factory). A graph containing a node whose
+// entry has no shape_key still fingerprints — structure and op names are
+// always included — but the result is marked inexact and the planner
+// refuses to cache plans for it (two graphs differing only in that op's
+// config would alias).
+#pragma once
+
+#include <string>
+
+#include "framework/graph.h"
+#include "framework/op_registry.h"
+#include "gpu/machine.h"
+
+namespace fcc::fw {
+
+struct GraphFingerprint {
+  /// Canonical shape key: live nodes in graph order, each as
+  /// `op[shape_key](dep,dep,...)` with deps renumbered over live nodes.
+  std::string key;
+  /// False when any live node's registry entry lacks a shape_key (or the
+  /// op is unregistered): the key no longer separates graphs that differ
+  /// only in that node's config, so plans must not be cached under it.
+  bool exact = true;
+};
+
+GraphFingerprint graph_fingerprint(
+    const Graph& graph, const OpRegistry& registry = OpRegistry::global());
+
+/// Canonical machine/topology key: node counts, GPU timing-relevant specs,
+/// fabric/NIC bandwidths and latencies, and the topology kind with its
+/// parameters. Sharding and trace collection are excluded — they change
+/// how the simulation is driven, not what any plan should decide.
+std::string topology_fingerprint(const gpu::Machine::Config& config);
+
+}  // namespace fcc::fw

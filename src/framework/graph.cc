@@ -96,7 +96,60 @@ int Graph::num_live_nodes() const {
   return n;
 }
 
-int rewrite_fused(Graph& graph, const OpRegistry& registry) {
+void apply_fused_rewrites(Graph& graph,
+                          const std::vector<FusedRewrite>& rewrites) {
+  for (const FusedRewrite& rw : rewrites) {
+    const int i = rw.producer;
+    const int j = rw.consumer;
+    GraphNode& producer = graph.mutable_node(i);
+    GraphNode& consumer = graph.mutable_node(j);
+
+    // Merge the pair into the consumer's slot (every other node's deps
+    // stay valid: nothing but the consumer referenced the producer).
+    OpSpec merged;
+    merged.name = rw.fused_op;
+    merged.config = producer.spec.config.has_value() ? producer.spec.config
+                                                     : consumer.spec.config;
+    merged.data = producer.spec.data.has_value() ? producer.spec.data
+                                                 : consumer.spec.data;
+    consumer.fused_from = producer.spec.name + " + " + consumer.spec.name;
+    consumer.spec = std::move(merged);
+    consumer.label = rw.fused_op;
+
+    // Reads: the producer's inputs plus whatever the consumer read that
+    // the producer did not feed it. Writes: the consumer's outputs (the
+    // producer's become internal to the fused op).
+    std::vector<int> inputs = producer.inputs;
+    for (int t : consumer.inputs) {
+      if (std::find(producer.outputs.begin(), producer.outputs.end(), t) ==
+          producer.outputs.end()) {
+        inputs.push_back(t);
+      }
+    }
+    sort_unique(inputs);
+    consumer.inputs = std::move(inputs);
+
+    std::vector<int> deps = producer.deps;
+    for (int d : consumer.deps) {
+      if (d != i) deps.push_back(d);
+    }
+    sort_unique(deps);
+    consumer.deps = std::move(deps);
+
+    producer.fused_away = true;
+    // Keep tensor bookkeeping usable if the caller keeps building: the
+    // fused node stands in for the producer everywhere.
+    for (auto& ts : graph.tensors_) {
+      if (ts.last_writer == i) ts.last_writer = j;
+      for (auto& r : ts.readers) {
+        if (r == i) r = j;
+      }
+    }
+  }
+}
+
+int rewrite_fused(Graph& graph, const OpRegistry& registry,
+                  std::vector<FusedRewrite>* out) {
   // (producer op, consumer op) -> fused registry name. Two entries
   // claiming one pattern would make the rewrite depend on registry
   // iteration order — refuse instead of silently letting one shadow the
@@ -140,53 +193,18 @@ int rewrite_fused(Graph& graph, const OpRegistry& registry) {
       }
       if (!sole) continue;
 
-      // Merge the pair into the consumer's slot (every other node's deps
-      // stay valid: nothing but the consumer referenced the producer).
-      OpSpec merged;
-      merged.name = hit->second;
-      merged.config = producer.spec.config.has_value() ? producer.spec.config
-                                                       : consumer.spec.config;
-      merged.data =
-          producer.spec.data.has_value() ? producer.spec.data
-                                         : consumer.spec.data;
-      consumer.fused_from = producer.spec.name + " + " + consumer.spec.name;
-      consumer.spec = std::move(merged);
-      consumer.label = hit->second;
-
-      // Reads: the producer's inputs plus whatever the consumer read that
-      // the producer did not feed it. Writes: the consumer's outputs (the
-      // producer's become internal to the fused op).
-      std::vector<int> inputs = producer.inputs;
-      for (int t : consumer.inputs) {
-        if (std::find(producer.outputs.begin(), producer.outputs.end(), t) ==
-            producer.outputs.end()) {
-          inputs.push_back(t);
-        }
-      }
-      sort_unique(inputs);
-      consumer.inputs = std::move(inputs);
-
-      std::vector<int> deps = producer.deps;
-      for (int d : consumer.deps) {
-        if (d != i) deps.push_back(d);
-      }
-      sort_unique(deps);
-      consumer.deps = std::move(deps);
-
-      producer.fused_away = true;
-      // Keep tensor bookkeeping usable if the caller keeps building: the
-      // fused node stands in for the producer everywhere.
-      for (auto& ts : graph.tensors_) {
-        if (ts.last_writer == i) ts.last_writer = j;
-        for (auto& r : ts.readers) {
-          if (r == i) r = j;
-        }
-      }
+      FusedRewrite rw{i, j, hit->second};
+      apply_fused_rewrites(graph, {rw});
+      if (out != nullptr) out->push_back(std::move(rw));
       ++rewrites;
       break;  // this consumer is rewritten; move on to the next node
     }
   }
   return rewrites;
+}
+
+int rewrite_fused(Graph& graph, const OpRegistry& registry) {
+  return rewrite_fused(graph, registry, nullptr);
 }
 
 }  // namespace fcc::fw

@@ -13,12 +13,14 @@
 //   * registry ops ("fcc::gemv_allreduce"): dispatchable directly, or
 //   * unfused pattern nodes ("aten::embedding_bag" + "c10d::all_to_all"):
 //     placeholders that rewrite_fused() collapses into the registered
-//     fused op whose OpEntry pattern/`replaces` matches — the graph-pass
-//     analog of swapping framework graph nodes for the fused operator.
+//     fused op whose OpEntry `pattern` matches — the graph-pass analog of
+//     swapping framework graph nodes for the fused operator.
 //
-// Session::run(Graph) applies the rewrite and hands the lowered graph to
-// GraphExecutor, which schedules every ready node concurrently on the sim
-// engine.
+// Session::run(Graph) applies the rewrite (via the plan-layer pass
+// pipeline) and hands the lowered graph to GraphExecutor, which schedules
+// every ready node concurrently on the sim engine. Session::run_planned()
+// additionally scores every rewrite and backend choice against the plan
+// layer's cost model (src/plan/) before executing.
 #pragma once
 
 #include <string>
@@ -92,6 +94,9 @@ class Graph {
   void add_dep(NodeId node, NodeId before);
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  /// Mutable spec access for planning passes (config-level mutations that
+  /// keep the node's dataflow intact, e.g. collective-algorithm choice).
+  OpSpec& mutable_spec(int id) { return mutable_node(id).spec; }
   /// Nodes still scheduled after rewriting (fused-away nodes excluded).
   int num_live_nodes() const;
   const GraphNode& node(int id) const { return nodes_.at(static_cast<std::size_t>(id)); }
@@ -101,7 +106,10 @@ class Graph {
   int num_tensors() const { return static_cast<int>(tensors_.size()); }
 
  private:
-  friend int rewrite_fused(Graph& graph, const OpRegistry& registry);
+  friend int rewrite_fused(Graph& graph, const OpRegistry& registry,
+                           std::vector<struct FusedRewrite>* out);
+  friend void apply_fused_rewrites(
+      Graph& graph, const std::vector<struct FusedRewrite>& rewrites);
 
   struct TensorState {
     std::string name;
@@ -117,6 +125,14 @@ class Graph {
   std::vector<TensorState> tensors_;
 };
 
+/// One applied (or replayable) pattern collapse: original node ids of the
+/// producer/consumer pair and the fused registry op they merged into.
+struct FusedRewrite {
+  int producer = -1;
+  int consumer = -1;
+  std::string fused_op;
+};
+
 /// The fused-rewrite pass: collapses every producer→consumer pair whose op
 /// names match a registered entry's unfused_pattern() into one node
 /// dispatching the fused op. The pair must be connected by dataflow and the
@@ -126,8 +142,19 @@ class Graph {
 /// convention: the compute node carries the operator parameters; the
 /// collective node is parameter-free), reads the producer's inputs, writes
 /// the consumer's outputs, and inherits both nodes' remaining deps.
-/// Returns the number of pairs rewritten.
+/// Returns the number of pairs rewritten; when `out` is non-null, each
+/// collapse is appended to it so a plan cache can replay the lowering
+/// without re-running pattern matching.
+int rewrite_fused(Graph& graph, const OpRegistry& registry,
+                  std::vector<FusedRewrite>* out);
 int rewrite_fused(Graph& graph,
                   const OpRegistry& registry = OpRegistry::global());
+
+/// Mechanically replays recorded collapses on a graph with the same shape
+/// (same node ids/ops) the rewrites were recorded on — the plan-cache warm
+/// path. No pattern matching, no guards: the caller vouches for the shape
+/// match (fingerprint-equal graphs).
+void apply_fused_rewrites(Graph& graph,
+                          const std::vector<FusedRewrite>& rewrites);
 
 }  // namespace fcc::fw

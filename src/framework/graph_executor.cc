@@ -61,8 +61,17 @@ GraphExecutor::GraphExecutor(const Graph& graph, const OpRegistry& registry)
     : graph_(graph), registry_(registry) {}
 
 GraphResult GraphExecutor::run(shmem::World& world, Backend backend) {
+  return run(world, std::vector<Backend>(
+                        static_cast<std::size_t>(graph_.num_nodes()), backend));
+}
+
+GraphResult GraphExecutor::run(shmem::World& world,
+                               const std::vector<Backend>& backends) {
   auto& engine = world.machine().engine();
   const int n = graph_.num_nodes();
+  FCC_CHECK_MSG(static_cast<int>(backends.size()) >= n,
+                "per-node backend vector covers " << backends.size()
+                                                  << " nodes, graph has " << n);
 
   // Validate and build every operator before anything is scheduled: an
   // unrewritten pattern node fails registry lookup here with the full
@@ -80,7 +89,8 @@ GraphResult GraphExecutor::run(shmem::World& world, Backend backend) {
                                    << "' depends on a fused-away node");
     }
     NodeState& st = *states[static_cast<std::size_t>(i)];
-    st.op = registry_.at(node.spec.name).make(world, node.spec, backend);
+    st.op = registry_.at(node.spec.name)
+                .make(world, node.spec, backends[static_cast<std::size_t>(i)]);
     FCC_CHECK_MSG(st.op != nullptr,
                   "factory for op '" << node.spec.name << "' returned null");
   }

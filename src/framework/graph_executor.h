@@ -62,6 +62,11 @@ class GraphExecutor {
   /// Throws if the graph deadlocks (a node never became ready).
   GraphResult run(shmem::World& world, Backend backend);
 
+  /// Per-node backend variant (the plan layer's entry point): node i is
+  /// built with `backends[i]`. The vector is indexed by graph node id and
+  /// must cover every node; fused-away slots are ignored.
+  GraphResult run(shmem::World& world, const std::vector<Backend>& backends);
+
  private:
   const Graph& graph_;
   const OpRegistry& registry_;

@@ -19,26 +19,7 @@ std::string spec_type_error_msg(const std::string& op, const char* slot,
 
 }  // namespace detail
 
-std::vector<std::string> parse_replaces_pattern(const std::string& replaces) {
-  // Strip an optional trailing parenthesized note: "A + B (note)" -> "A + B".
-  std::string body = replaces;
-  const auto paren = body.find(" (");
-  if (paren != std::string::npos) body.erase(paren);
-  while (!body.empty() && body.back() == ' ') body.pop_back();
-
-  const std::string sep = " + ";
-  const auto plus = body.find(sep);
-  if (plus == std::string::npos || plus == 0) return {};
-  const std::string producer = body.substr(0, plus);
-  const std::string consumer = body.substr(plus + sep.size());
-  if (consumer.empty() || consumer.find(sep) != std::string::npos) return {};
-  return {producer, consumer};
-}
-
-std::vector<std::string> OpEntry::unfused_pattern() const {
-  if (!pattern.empty()) return pattern;
-  return parse_replaces_pattern(replaces);
-}
+std::vector<std::string> OpEntry::unfused_pattern() const { return pattern; }
 
 OpRegistry& OpRegistry::global() {
   static OpRegistry registry;

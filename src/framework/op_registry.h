@@ -121,29 +121,28 @@ struct OpEntry {
       shmem::World&, const OpSpec&, Backend)>;
 
   std::string name;
-  /// Human-readable unfused pattern this op fuses, "producer + consumer"
-  /// with an optional trailing "(note)". fw::rewrite_fused parses this via
-  /// unfused_pattern() unless `pattern` is set explicitly.
+  /// Purely documentary: a human-readable description of what this op
+  /// fuses ("aten::mv + c10d::all_reduce"). Never parsed — the structured
+  /// `pattern` field is the only rewrite metadata.
   std::string replaces;
   Factory make = nullptr;
   /// Optional: a small timing-only spec runnable on smoke_machine_config(),
   /// for registry-wide sweeps (fused-vs-baseline smoke tests, CI).
   std::function<OpSpec()> smoke_spec = nullptr;
   /// Structured rewrite metadata: the exact node-name sequence
-  /// {producer, consumer} the graph rewrite pass matches. Built-in operator
-  /// TUs set it explicitly; when empty, unfused_pattern() falls back to
-  /// parsing `replaces`.
+  /// {producer, consumer} the graph rewrite pass matches. Empty = this op
+  /// is not a fusion target.
   std::vector<std::string> pattern = {};
+  /// Optional: canonical problem-size key for this op's config (e.g.
+  /// "m=8192,k=8192"), used by fw::graph_fingerprint to build plan-cache
+  /// keys. Ops without one still run; graphs containing them just plan
+  /// uncached (the fingerprint is marked inexact).
+  std::function<std::string(const OpSpec&)> shape_key = nullptr;
 
-  /// The producer/consumer node names this op rewrites, or empty if the
-  /// entry declares no usable pattern (e.g. a free-text `replaces` that is
-  /// not "A + B"-shaped).
+  /// The producer/consumer node names this op rewrites (`pattern`), or
+  /// empty if the entry declares none.
   std::vector<std::string> unfused_pattern() const;
 };
-
-/// Parses a `replaces` doc string of the form "A + B" or "A + B (note)"
-/// into {"A", "B"}; returns empty for anything else.
-std::vector<std::string> parse_replaces_pattern(const std::string& replaces);
 
 class OpRegistry {
  public:

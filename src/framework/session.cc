@@ -1,5 +1,7 @@
 #include "framework/session.h"
 
+#include "plan/planner.h"
+
 namespace fcc::fw {
 
 fused::OperatorResult Session::run(const OpSpec& spec, Backend backend,
@@ -9,12 +11,25 @@ fused::OperatorResult Session::run(const OpSpec& spec, Backend backend,
 
 GraphResult Session::run(const Graph& graph, Backend backend,
                          const OpRegistry& registry) {
-  Graph lowered = graph;
-  const int rewrites = rewrite_fused(lowered, registry);
-  GraphExecutor executor(lowered, registry);
-  GraphResult result = executor.run(world_, backend);
-  result.rewrites = rewrites;
-  return result;
+  // The always-fuse path: only the fuse-patterns pass runs, and every live
+  // node executes on the caller's backend — identical semantics to the
+  // pre-planner rewrite_fused + uniform-dispatch path.
+  plan::PlanOptions options;
+  options.default_backend = backend;
+  options.passes = {"fuse-patterns"};
+  return run_planned(graph, options, registry).result;
+}
+
+Session::PlannedRun Session::run_planned(const Graph& graph,
+                                         const plan::PlanOptions& options,
+                                         const OpRegistry& registry) {
+  plan::Planner planner(registry);
+  PlannedRun pr{planner.plan(graph, machine_.config(), options), {}};
+  GraphExecutor executor(pr.planned.graph, registry);
+  pr.result = executor.run(world_, pr.planned.backends());
+  pr.result.rewrites =
+      static_cast<int>(pr.planned.plan.fused_rewrites.size());
+  return pr;
 }
 
 }  // namespace fcc::fw

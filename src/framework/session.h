@@ -14,6 +14,7 @@
 #include "framework/graph_executor.h"
 #include "framework/op_registry.h"
 #include "gpu/machine.h"
+#include "plan/planner.h"
 #include "shmem/sym_array.h"
 #include "shmem/world.h"
 
@@ -43,13 +44,29 @@ class Session {
                             Backend backend = Backend::kFused,
                             const OpRegistry& registry = OpRegistry::global());
 
-  /// Runs a whole multi-op program: applies the fused-rewrite pass to a
-  /// copy of `graph` (pattern nodes collapse into registered fused ops),
-  /// then schedules every dependency-satisfied node concurrently via
-  /// GraphExecutor. Independent nodes overlap; a pure chain times exactly
-  /// like the equivalent sequence of blocking run() calls.
+  /// Runs a whole multi-op program: routes `graph` through the planning
+  /// pipeline's fuse-patterns pass (pattern nodes collapse into registered
+  /// fused ops), then schedules every dependency-satisfied node
+  /// concurrently via GraphExecutor, all on the requested backend.
+  /// Independent nodes overlap; a pure chain times exactly like the
+  /// equivalent sequence of blocking run() calls.
   GraphResult run(const Graph& graph, Backend backend = Backend::kFused,
                   const OpRegistry& registry = OpRegistry::global());
+
+  /// A planned execution: the planner's per-node decisions plus the
+  /// simulated result of carrying them out.
+  struct PlannedRun {
+    plan::Planned planned;
+    GraphResult result;
+  };
+
+  /// Runs `graph` under the full planning pipeline: fuse on predicted win
+  /// only, per-node backend choice, ccl algorithm steering — with an
+  /// optional shared PlanCache (options.cache). `planned.report` explains
+  /// every accept/reject.
+  PlannedRun run_planned(const Graph& graph,
+                         const plan::PlanOptions& options = {},
+                         const OpRegistry& registry = OpRegistry::global());
 
  private:
   gpu::Machine machine_;

@@ -469,6 +469,16 @@ const fw::OpRegistrar embedding_a2a_registrar{{
     // Graph rewrite: pooling node (carries the EmbeddingA2AConfig) feeding
     // a bare all_to_all collapses into this op.
     .pattern = {"aten::embedding_bag", "c10d::all_to_all"},
+    .shape_key =
+        [](const fw::OpSpec& spec) {
+          const auto& cfg = fw::spec_config<EmbeddingA2AConfig>(spec);
+          return "pes=" + std::to_string(cfg.map.num_pes) +
+                 ",tables=" + std::to_string(cfg.map.tables_per_pe) +
+                 ",batch=" + std::to_string(cfg.map.global_batch) +
+                 ",dim=" + std::to_string(cfg.map.dim) +
+                 ",vps=" + std::to_string(cfg.map.vectors_per_slice) +
+                 ",pool=" + std::to_string(cfg.pooling);
+        },
 }};
 
 }  // namespace

@@ -267,6 +267,13 @@ const fw::OpRegistrar gemm_a2a_registrar{{
     // Graph rewrite: expert GEMM (carries the GemmA2AConfig) feeding a bare
     // all_to_all collapses into this op (MoE combine direction).
     .pattern = {"aten::mm", "c10d::all_to_all"},
+    .shape_key =
+        [](const fw::OpSpec& spec) {
+          const auto& cfg = fw::spec_config<GemmA2AConfig>(spec);
+          return "r=" + std::to_string(cfg.rows_per_origin) +
+                 ",dm=" + std::to_string(cfg.d_model) +
+                 ",dff=" + std::to_string(cfg.d_ff);
+        },
 }};
 
 }  // namespace

@@ -388,7 +388,8 @@ const fw::OpRegistrar gemv_allreduce_registrar{{
       if (backend == fw::Backend::kFused) {
         return std::make_unique<FusedGemvAllReduce>(world, cfg, data);
       }
-      return std::make_unique<BaselineGemvAllReduce>(world, cfg, data);
+      return std::make_unique<BaselineGemvAllReduce>(world, cfg, data,
+                                                     cfg.allreduce_algo);
     },
     .smoke_spec =
         [] {
@@ -401,6 +402,14 @@ const fw::OpRegistrar gemv_allreduce_registrar{{
     // Graph rewrite: row-parallel GEMV (carries the GemvAllReduceConfig)
     // feeding a bare all_reduce collapses into this op.
     .pattern = {"aten::mv", "c10d::all_reduce"},
+    .shape_key =
+        [](const fw::OpSpec& spec) {
+          const auto& cfg = fw::spec_config<GemvAllReduceConfig>(spec);
+          return "m=" + std::to_string(cfg.m) +
+                 ",k=" + std::to_string(cfg.k_global) +
+                 ",tile=" + std::to_string(cfg.tile_rows) +
+                 ",ar=" + std::to_string(static_cast<int>(cfg.allreduce_algo));
+        },
 }};
 
 }  // namespace

@@ -46,6 +46,11 @@ struct GemvAllReduceConfig {
   bool functional = false;
   int occupancy_slots_override = 0;
   TimeNs bookkeeping_ns = 40;
+  /// AllReduce algorithm for the bulk-synchronous baseline (the fused
+  /// kernel owns its own two-phase schedule). The historical default is
+  /// the flat two-phase direct algorithm; the planner's select-ccl-algo
+  /// pass steers this to kHierarchical/kRing/kAuto on predicted win.
+  ccl::AllReduceAlgo allreduce_algo = ccl::AllReduceAlgo::kTwoPhaseDirect;
 
   int k_local(int num_pes) const {
     FCC_CHECK(k_global % num_pes == 0);

@@ -1,6 +1,7 @@
 #include "fused/moe_dispatch.h"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
 #include "framework/op_registry.h"
@@ -520,6 +521,16 @@ const fw::OpRegistrar moe_dispatch_registrar{{
     // Graph rewrite: routed GEMM (carries the MoeDispatchConfig) feeding a
     // bare uneven-splits all_to_all_single collapses into this op.
     .pattern = {"aten::mm", "c10d::all_to_all_single"},
+    .shape_key =
+        [](const fw::OpSpec& spec) {
+          const auto& cfg = fw::spec_config<MoeDispatchConfig>(spec);
+          std::ostringstream os;
+          os << "t=" << cfg.tokens_per_pe << ",dm=" << cfg.d_model
+             << ",do=" << cfg.d_out << ",k=" << cfg.top_k
+             << ",hot=" << cfg.hot_expert_factor
+             << ",seed=" << cfg.routing_seed;
+          return os.str();
+        },
 }};
 
 }  // namespace

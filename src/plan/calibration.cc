@@ -1,0 +1,152 @@
+#include "plan/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fcc::plan {
+
+void CalibrationTable::add(CalibrationAnchor anchor) {
+  FCC_CHECK_MSG(anchor.work > 0, "calibration anchor needs work > 0: "
+                                     << anchor.op << " " << anchor.label);
+  FCC_CHECK_MSG(
+      anchor.analytic_fused_ns > 0 && anchor.analytic_baseline_ns > 0,
+      "calibration anchor needs analytic values: " << anchor.op << " "
+                                                   << anchor.label);
+  anchors_.push_back(std::move(anchor));
+}
+
+CalibrationTable::Correction CalibrationTable::correction(
+    const std::string& op, const std::string& topo, double work) const {
+  // Collect matching anchors as (log work, fused ratio, baseline ratio).
+  struct Point {
+    double lw, fused, baseline;
+  };
+  std::vector<Point> pts;
+  for (const CalibrationAnchor& a : anchors_) {
+    if (a.op != op || a.topo != topo) continue;
+    pts.push_back(Point{std::log(a.work),
+                        a.measured_fused_ns / a.analytic_fused_ns,
+                        a.measured_baseline_ns / a.analytic_baseline_ns});
+  }
+  if (pts.empty()) return {};
+  std::sort(pts.begin(), pts.end(),
+            [](const Point& a, const Point& b) { return a.lw < b.lw; });
+
+  Correction c;
+  c.any = true;
+  const double lw = std::log(std::max(work, 1.0));
+  if (lw <= pts.front().lw) {
+    c.fused = pts.front().fused;
+    c.baseline = pts.front().baseline;
+    return c;
+  }
+  if (lw >= pts.back().lw) {
+    c.fused = pts.back().fused;
+    c.baseline = pts.back().baseline;
+    return c;
+  }
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (lw > pts[i].lw) continue;
+    const Point& lo = pts[i - 1];
+    const Point& hi = pts[i];
+    const double span = hi.lw - lo.lw;
+    const double t = span > 0 ? (lw - lo.lw) / span : 0.0;
+    c.fused = lo.fused + t * (hi.fused - lo.fused);
+    c.baseline = lo.baseline + t * (hi.baseline - lo.baseline);
+    return c;
+  }
+  return c;  // unreachable
+}
+
+namespace {
+
+struct AnchorRow {
+  const char* op;
+  const char* topo;
+  double work;
+  double measured_fused_ns;
+  double measured_baseline_ns;
+  double analytic_fused_ns;
+  double analytic_baseline_ns;
+  const char* label;
+};
+
+// Regenerate with: bench_plan_quality --print-calibration
+// (grid = the figure-bench sweeps: fig08 embedding, fig09 gemv+allreduce,
+// fig10 gemm+a2a, and the bench_moe_dispatch shape sweep with its T=512
+// crossover point, on the fully-connected and switched 1x4 machines.)
+std::vector<AnchorRow> builtin_rows() {
+  return {
+      // clang-format off
+      {"fcc::gemv_allreduce", "fully_connected/1x4", 67108864, 55802, 71135, 47192.407326007327, 59024.412210012211, "gemv M=8192 K=8192 fc1x4"},
+      {"fcc::gemv_allreduce", "fully_connected/1x4", 134217728, 104410, 121350, 88284.814652014655, 100648.82442002442, "gemv M=16384 K=8192 fc1x4"},
+      {"fcc::gemv_allreduce", "fully_connected/1x4", 268435456, 199910, 217342, 170224.81953601952, 182588.82930402929, "gemv M=16384 K=16384 fc1x4"},
+      {"fcc::gemv_allreduce", "fully_connected/1x4", 268435456, 173918, 202289, 170469.62930402931, 183897.64884004885, "gemv M=32768 K=8192 fc1x4"},
+      {"fcc::gemv_allreduce", "fully_connected/1x4", 536870912, 344683, 358959, 334839.25860805862, 350395.29768009769, "gemv M=65536 K=8192 fc1x4"},
+      {"fcc::gemv_allreduce", "fully_connected/1x4", 1048576, 10722, 25209, 6852.4503052503051, 18121.95750915751, "gemv M=1024 K=1024 fc1x4"},
+      {"fcc::gemv_allreduce", "fully_connected/1x4", 524288, 9968, 24386, 6826.2251526251521, 17760.978754578755, "gemv M=512 K=1024 fc1x4"},
+      {"fcc::gemv_allreduce", "switched/1x4", 67108864, 55802, 71135, 47192.407326007327, 59024.412210012211, "gemv M=8192 K=8192 sw1x4"},
+      {"fcc::gemv_allreduce", "switched/1x4", 134217728, 104410, 121350, 88284.814652014655, 100648.82442002442, "gemv M=16384 K=8192 sw1x4"},
+      {"fcc::gemv_allreduce", "switched/1x4", 536870912, 344683, 358959, 334839.25860805862, 350395.29768009769, "gemv M=65536 K=8192 sw1x4"},
+      {"fcc::gemv_allreduce", "fully_connected/2x4", 67108864, 4616793, 55108, 28243.977533577534, 42870.610989010987, "gemv M=8192 K=8192 fc2x4"},
+      {"fcc::gemv_allreduce", "fully_connected/2x4", 134217728, 6856293, 84913, 48887.955067155068, 65341.221978021975, "gemv M=16384 K=8192 fc2x4"},
+      {"fcc::gemv_allreduce", "fully_connected/2x4", 268435456, 7898303, 137534, 90175.910134310136, 110282.44395604395, "gemv M=32768 K=8192 fc2x4"},
+      {"fcc::moe_dispatch", "fully_connected/1x4", 1073741824, 543181, 531495, 299534.20101137803, 378067.65815423522, "moe T=512 dM=1024 dO=1024 skew=4 fc1x4"},
+      {"fcc::moe_dispatch", "fully_connected/1x4", 2147483648, 628461, 700579, 593493.40202275605, 739435.31630847044, "moe T=1024 dM=1024 dO=1024 skew=4 fc1x4"},
+      {"fcc::moe_dispatch", "fully_connected/1x4", 4294967296, 1143343, 1376976, 1181411.8040455121, 1462170.6326169409, "moe T=2048 dM=1024 dO=1024 skew=4 fc1x4"},
+      {"fcc::moe_dispatch", "fully_connected/1x4", 8589934592, 2280207, 2462935, 2267370.6652338817, 2548129.4938053102, "moe T=2048 dM=2048 dO=1024 skew=4 fc1x4"},
+      {"fcc::moe_dispatch", "fully_connected/1x4", 34359738368, 8831157, 9785053, 9052757.6609355267, 10142417.975221241, "moe T=4096 dM=2048 dO=2048 skew=4 fc1x4"},
+      {"fcc::moe_dispatch", "switched/1x4", 1073741824, 543181, 531495, 299534.20101137803, 378067.65815423522, "moe T=512 dM=1024 dO=1024 skew=4 sw1x4"},
+      {"fcc::moe_dispatch", "switched/1x4", 4294967296, 1143343, 1376976, 1181411.8040455121, 1462170.6326169409, "moe T=2048 dM=1024 dO=1024 skew=4 sw1x4"},
+      {"fcc::gemm_a2a", "fully_connected/1x4", 4294967296, 1092439, 1266026, 1107157.5011883692, 1259945.2611883692, "gemm R=1024 dM=1024 dF=1024 fc1x4"},
+      {"fcc::gemm_a2a", "fully_connected/1x4", 8589934592, 2178788, 2509312, 2208845.0023767385, 2503190.5223767385, "gemm R=1024 dM=2048 dF=1024 fc1x4"},
+      {"fcc::gemm_a2a", "fully_connected/1x4", 17179869184, 4350706, 4681230, 4380762.7247534776, 4675108.2447534772, "gemm R=2048 dM=1024 dF=2048 fc1x4"},
+      {"fcc::gemm_a2a", "fully_connected/1x4", 17179869184, 4351576, 4995882, 4412220.0047534769, 4989681.044753477, "gemm R=2048 dM=2048 dF=1024 fc1x4"},
+      {"fcc::gemm_a2a", "fully_connected/1x4", 68719476736, 17385125, 18656730, 17506640.89901391, 18650332.979013909, "gemm R=4096 dM=2048 dF=2048 fc1x4"},
+      {"fcc::gemm_a2a", "fully_connected/1x4", 33554432, 231575, 245782, 14199.813603034136, 27641.653603034134, "gemm R=64 dM=256 dF=512 fc1x4"},
+      {"fcc::gemm_a2a", "switched/1x4", 4294967296, 1092439, 1266026, 1107157.5011883692, 1259945.2611883692, "gemm R=1024 dM=1024 dF=1024 sw1x4"},
+      {"fcc::gemm_a2a", "switched/1x4", 68719476736, 17385125, 18656730, 17506640.89901391, 18650332.979013909, "gemm R=4096 dM=2048 dF=2048 sw1x4"},
+      {"fcc::embedding_a2a", "fully_connected/1x4", 838860800, 2081837, 2707834, 2393935.1384615381, 2408259.8769230768, "emb B=512 T=64 fc1x4"},
+      {"fcc::embedding_a2a", "fully_connected/1x4", 1677721600, 4146677, 5392965, 4782470.2769230762, 4799819.7538461536, "emb B=512 T=128 fc1x4"},
+      {"fcc::embedding_a2a", "fully_connected/1x4", 3355443200, 8286029, 11013598, 9559540.5538461525, 9582939.5076923072, "emb B=1024 T=128 fc1x4"},
+      {"fcc::embedding_a2a", "fully_connected/1x4", 6710886400, 16552945, 22004499, 19113681.107692305, 19149179.015384614, "emb B=1024 T=256 fc1x4"},
+      {"fcc::embedding_a2a", "fully_connected/1x4", 6710886400, 16552879, 20280723, 19113681.107692305, 19149179.015384614, "emb B=2048 T=128 fc1x4"},
+      {"fcc::embedding_a2a", "fully_connected/1x4", 13421772800, 33095767, 40538746, 38221962.21538461, 38281658.030769229, "emb B=2048 T=256 fc1x4"},
+      {"fcc::embedding_a2a", "fully_connected/1x4", 2097152, 12400, 35626, 11473.482783882784, 23210.089377289376, "emb B=128 T=4 dim=64 fc1x4"},
+      {"fcc::embedding_a2a", "switched/1x4", 838860800, 2081837, 2707834, 2393935.1384615381, 2408259.8769230768, "emb B=512 T=64 sw1x4"},
+      {"fcc::embedding_a2a", "switched/1x4", 6710886400, 16552945, 22004499, 19113681.107692305, 19149179.015384614, "emb B=1024 T=256 sw1x4"},
+      {"fcc::embedding_a2a", "switched/1x4", 13421772800, 33095767, 40538746, 38221962.21538461, 38281658.030769229, "emb B=2048 T=256 sw1x4"},
+      // clang-format on
+  };
+}
+
+}  // namespace
+
+const CalibrationTable& builtin_calibration() {
+  static const CalibrationTable table = [] {
+    CalibrationTable t;
+    for (const AnchorRow& r : builtin_rows()) {
+      CalibrationAnchor a;
+      a.op = r.op;
+      a.topo = r.topo;
+      a.work = r.work;
+      a.measured_fused_ns = r.measured_fused_ns;
+      a.measured_baseline_ns = r.measured_baseline_ns;
+      a.analytic_fused_ns = r.analytic_fused_ns;
+      a.analytic_baseline_ns = r.analytic_baseline_ns;
+      a.label = r.label;
+      t.add(std::move(a));
+    }
+    return t;
+  }();
+  return table;
+}
+
+const CalibrationTable& empty_calibration() {
+  static const CalibrationTable table;
+  return table;
+}
+
+}  // namespace fcc::plan

@@ -1,0 +1,135 @@
+// Fast analytic fused-vs-baseline cost scoring for planner decisions.
+//
+// Per-op analytic models (registered per registry name, next to nothing
+// else: src/plan/op_models.cc) predict the fused and baseline durations of
+// one op on one machine from the ops/cost_model.h workgroup formulas and
+// the hardware specs — pure closed-form host math, no engine, microseconds
+// to evaluate. The CostScorer then multiplies each analytic estimate by a
+// calibration correction interpolated from measured figure-bench anchors
+// (plan/calibration.h), so at every anchor point the score reproduces the
+// simulator's measured duration exactly — which is what makes the planner
+// honest about crossovers like moe_dispatch at T=512, where the analytic
+// shape alone is within a few percent of the flip.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ccl/communicator.h"
+#include "common/types.h"
+#include "framework/op_registry.h"
+#include "gpu/machine.h"
+#include "plan/calibration.h"
+
+namespace fcc::plan {
+
+/// The hardware environment a score is computed against, plus shared
+/// closed-form helpers so op models agree on what "device time" and "wire
+/// time" mean.
+struct CostEnv {
+  gpu::Machine::Config machine;
+
+  int num_pes() const { return machine.num_nodes * machine.gpus_per_node; }
+  bool multi_node() const { return machine.num_nodes > 1; }
+
+  /// Whole-device kernel time: max of HBM streaming and ALU time, the
+  /// aggregate-level shape of gpu::Device::compute_duration (occupancy
+  /// curves are left to calibration).
+  double device_ns(double hbm_bytes, double flops,
+                   double alu_efficiency = 1.0) const;
+
+  /// Time for one GPU to move `bytes` of peer traffic across the scale-up
+  /// fabric (topology-aware port bandwidth + per-transfer latency). When
+  /// the machine spans nodes, `inter_fraction` of the bytes instead ride
+  /// the NIC at its (rail-scaled) wire bandwidth.
+  double wire_ns(double bytes, double inter_fraction = 0.0) const;
+
+  /// One-hop scale-up latency under the active topology.
+  double scaleup_latency_ns() const;
+
+  /// Canonical topology + geometry key ("fully_connected/1x4",
+  /// "switched/2x4", ...) — the calibration table's topology axis.
+  std::string topo_kind() const;
+};
+
+struct CostEstimate {
+  double fused_ns = 0.0;
+  double baseline_ns = 0.0;
+  bool valid = false;       // an op model existed and produced an estimate
+  bool calibrated = false;  // corrected against measured anchors
+
+  fw::Backend winner() const {
+    return fused_ns <= baseline_ns ? fw::Backend::kFused
+                                   : fw::Backend::kBaseline;
+  }
+};
+
+/// Analytic model for one registered op. `estimate` and `work` are
+/// mandatory; the allreduce fields exist only for ops whose baseline
+/// carries a selectable ccl algorithm.
+struct OpCostModel {
+  /// Closed-form fused/baseline prediction. Must be deterministic and
+  /// engine-free; may throw fw::SpecTypeError on a mis-typed spec slot.
+  std::function<CostEstimate(const fw::OpSpec&, const CostEnv&)> estimate;
+  /// Scalar problem size (monotone in the op's dominant dimensions) used
+  /// to interpolate calibration corrections in log-work space.
+  std::function<double(const fw::OpSpec&, const CostEnv&)> work;
+
+  /// Baseline collective steering (optional, e.g. gemv_allreduce).
+  std::vector<ccl::AllReduceAlgo> allreduce_candidates;
+  std::function<double(const fw::OpSpec&, const CostEnv&, ccl::AllReduceAlgo)>
+      allreduce_time = nullptr;
+  std::function<ccl::AllReduceAlgo(const fw::OpSpec&)> allreduce_algo =
+      nullptr;  // current choice in the spec
+  std::function<void(fw::OpSpec&, ccl::AllReduceAlgo)> set_allreduce_algo =
+      nullptr;
+};
+
+const char* allreduce_algo_name(ccl::AllReduceAlgo algo);
+
+class ScorerRegistry {
+ public:
+  static ScorerRegistry& global();
+
+  void register_model(std::string op, OpCostModel model);
+  const OpCostModel* find(const std::string& op) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, OpCostModel> models_;
+};
+
+/// `static const ScorerRegistrar r{"fcc::x", {...}};` registers a model
+/// before main().
+struct ScorerRegistrar {
+  ScorerRegistrar(std::string op, OpCostModel model) {
+    ScorerRegistry::global().register_model(std::move(op), std::move(model));
+  }
+};
+
+class CostScorer {
+ public:
+  explicit CostScorer(CostEnv env, bool use_calibration = true,
+                      const ScorerRegistry& models = ScorerRegistry::global(),
+                      const CalibrationTable& calibration =
+                          builtin_calibration());
+
+  /// Calibration-corrected estimate for `spec` on this scorer's machine;
+  /// `valid` is false when no model is registered for the op.
+  CostEstimate score(const fw::OpSpec& spec) const;
+
+  const CostEnv& env() const { return env_; }
+  const OpCostModel* model(const std::string& op) const {
+    return models_.find(op);
+  }
+
+ private:
+  CostEnv env_;
+  bool use_calibration_;
+  const ScorerRegistry& models_;
+  const CalibrationTable& calibration_;
+};
+
+}  // namespace fcc::plan

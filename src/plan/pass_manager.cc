@@ -1,0 +1,85 @@
+#include "plan/pass_manager.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace fcc::plan {
+
+PassRegistry& PassRegistry::global() {
+  static PassRegistry registry;
+  return registry;
+}
+
+void PassRegistry::register_pass(PassInfo info, PassFn fn) {
+  FCC_CHECK_MSG(!info.name.empty(), "pass needs a name");
+  FCC_CHECK_MSG(fn != nullptr, "pass needs a body: " << info.name);
+  for (const Pass& p : passes_) {
+    FCC_CHECK_MSG(p.info.name != info.name,
+                  "duplicate pass registration: " << info.name);
+  }
+  passes_.push_back(Pass{std::move(info), std::move(fn)});
+}
+
+std::vector<const Pass*> PassRegistry::ordered() const {
+  std::vector<const Pass*> out;
+  out.reserve(passes_.size());
+  for (const Pass& p : passes_) out.push_back(&p);
+  std::sort(out.begin(), out.end(), [](const Pass* a, const Pass* b) {
+    if (a->info.order != b->info.order) return a->info.order < b->info.order;
+    return a->info.name < b->info.name;
+  });
+  return out;
+}
+
+const Pass* PassRegistry::find(const std::string& name) const {
+  for (const Pass& p : passes_) {
+    if (p.info.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> PassRegistry::names() const {
+  std::vector<std::string> out;
+  for (const Pass* p : ordered()) out.push_back(p->info.name);
+  return out;
+}
+
+PassManager::PassManager(std::vector<std::string> enabled,
+                         const PassRegistry& registry) {
+  if (enabled.empty()) {
+    for (const Pass* p : registry.ordered()) {
+      if (p->info.default_on) selected_.push_back(p);
+    }
+    return;
+  }
+  for (const std::string& name : enabled) {
+    const Pass* p = registry.find(name);
+    if (p == nullptr) {
+      std::ostringstream os;
+      os << "unknown plan pass: '" << name << "'; registered passes: [";
+      bool first = true;
+      for (const std::string& n : registry.names()) {
+        os << (first ? "" : ", ") << n;
+        first = false;
+      }
+      os << "]";
+      throw std::logic_error(os.str());
+    }
+    selected_.push_back(p);
+  }
+}
+
+std::vector<PassManager::PassRun> PassManager::run(fw::Graph& graph,
+                                                   PassContext& ctx) const {
+  std::vector<PassRun> runs;
+  runs.reserve(selected_.size());
+  for (const Pass* p : selected_) {
+    runs.push_back(PassRun{p->info.name, p->fn(graph, ctx)});
+  }
+  return runs;
+}
+
+}  // namespace fcc::plan

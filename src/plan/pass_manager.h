@@ -1,0 +1,103 @@
+// Ordered, opt-in pass pipeline over fw::Graph (the planning layer's
+// spine, in the style of an inductor-like pattern-pass registry).
+//
+// Each pass is registered once, with metadata, into the process-wide
+// PassRegistry; a PassManager selects passes (all default-on ones, or an
+// explicit ordered subset) and runs them over a graph, threading a
+// PassContext carrying the registry, the target machine, the cost scorer,
+// and the Plan/PlanReport being built. Passes are pure host-side graph
+// transforms: they never touch the sim engine, so planning cannot move a
+// simulated timestamp.
+//
+// Ordering is explicit (PassInfo::order), not static-init order, so the
+// pipeline is deterministic regardless of TU link order.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "framework/graph.h"
+#include "gpu/machine.h"
+
+namespace fcc::plan {
+
+class CostScorer;
+struct Plan;
+struct PlanReport;
+
+/// Everything a pass may consult or append to. Pointers rather than
+/// references so a context is cheap to assemble partially (unit tests run
+/// single passes with only the fields they need).
+struct PassContext {
+  const fw::OpRegistry* registry = nullptr;
+  const gpu::Machine::Config* machine = nullptr;
+  const CostScorer* scorer = nullptr;
+  Plan* plan = nullptr;
+  PlanReport* report = nullptr;
+};
+
+struct PassInfo {
+  std::string name;
+  std::string description;
+  /// Pipeline position; passes run in ascending order. Spaced by 10 so
+  /// out-of-tree passes can slot between built-ins.
+  int order = 0;
+  /// Included when the PassManager is built without an explicit list.
+  bool default_on = true;
+};
+
+/// A pass mutates the graph (or just the plan) and returns how many
+/// changes it made (rewrites applied, decisions recorded).
+using PassFn = std::function<int(fw::Graph&, PassContext&)>;
+
+struct Pass {
+  PassInfo info;
+  PassFn fn;
+};
+
+class PassRegistry {
+ public:
+  static PassRegistry& global();
+
+  void register_pass(PassInfo info, PassFn fn);
+  /// All registered passes, sorted by (order, name).
+  std::vector<const Pass*> ordered() const;
+  const Pass* find(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<Pass> passes_;
+};
+
+/// `static const PassRegistrar r{{...}, fn};` in a pass TU registers it
+/// before main().
+struct PassRegistrar {
+  PassRegistrar(PassInfo info, PassFn fn) {
+    PassRegistry::global().register_pass(std::move(info), std::move(fn));
+  }
+};
+
+class PassManager {
+ public:
+  struct PassRun {
+    std::string name;
+    int changes = 0;
+  };
+
+  /// Empty `enabled` = every default-on pass in registry order; otherwise
+  /// exactly the named passes, in the order given. Unknown names throw
+  /// (listing the registered passes) at construction, not mid-pipeline.
+  explicit PassManager(std::vector<std::string> enabled = {},
+                       const PassRegistry& registry = PassRegistry::global());
+
+  const std::vector<const Pass*>& passes() const { return selected_; }
+
+  /// Runs the selected passes in order; returns one entry per pass run.
+  std::vector<PassRun> run(fw::Graph& graph, PassContext& ctx) const;
+
+ private:
+  std::vector<const Pass*> selected_;
+};
+
+}  // namespace fcc::plan

@@ -1,0 +1,189 @@
+// Built-in planning passes, in pipeline order:
+//
+//   fuse-patterns    (10)  collapse producer+consumer pattern pairs into
+//                          registered fused ops (rewrite_fused ported onto
+//                          the pass manager; pattern nodes are not
+//                          executable, so collapsing is unconditional —
+//                          honesty lives in the next pass)
+//   score-backends   (20)  per live node, predict fused vs baseline cost
+//                          and pick the winner's backend — a fused op that
+//                          scores slower than its bulk-synchronous
+//                          baseline (moe_dispatch at T=512) is planned
+//                          onto the baseline
+//   select-ccl-algo  (30)  per baseline collective-bearing node, pick the
+//                          cheapest predicted ccl algorithm (e.g. the
+//                          hierarchical AllReduce on multi-node spans that
+//                          the flat two-phase default leaves on the table)
+#include <exception>
+
+#include "plan/cost_scorer.h"
+#include "plan/pass_manager.h"
+#include "plan/planner.h"
+
+namespace fcc::plan {
+namespace {
+
+/// Relative improvement an algorithm switch must predict before it is
+/// applied. Algo scores are analytic-only (the calibration table corrects
+/// fused-vs-baseline totals, not per-algorithm collective times), and the
+/// closed-form wire model understates the serialization the simulated
+/// communicator pays per peer — bench_plan_quality measures the analytic
+/// hierarchical-vs-two-phase margin running ~20 points optimistic on the
+/// 2x4 machine. The default stands unless the alternative is predicted
+/// far enough ahead to survive that bias.
+constexpr double kAlgoSwitchMargin = 0.25;
+
+int fuse_patterns(fw::Graph& graph, PassContext& ctx) {
+  const fw::OpRegistry& registry =
+      ctx.registry != nullptr ? *ctx.registry : fw::OpRegistry::global();
+  std::vector<fw::FusedRewrite> rewrites;
+  const int n = rewrite_fused(graph, registry, &rewrites);
+  for (const fw::FusedRewrite& rw : rewrites) {
+    if (ctx.report != nullptr) {
+      PlanDecision d;
+      d.pass = "fuse-patterns";
+      d.node = rw.consumer;
+      d.op = rw.fused_op;
+      d.label = graph.node(rw.consumer).label;
+      d.accepted = true;
+      d.choice = rw.fused_op;
+      d.why = "pattern pair collapsed (execution backend decided by "
+              "score-backends)";
+      ctx.report->decisions.push_back(std::move(d));
+    }
+  }
+  if (ctx.plan != nullptr) {
+    ctx.plan->fused_rewrites.insert(ctx.plan->fused_rewrites.end(),
+                                    rewrites.begin(), rewrites.end());
+  }
+  return n;
+}
+
+int score_backends(fw::Graph& graph, PassContext& ctx) {
+  if (ctx.scorer == nullptr || ctx.plan == nullptr) return 0;
+  int changes = 0;
+  for (int i = 0; i < graph.num_nodes(); ++i) {
+    const fw::GraphNode& node = graph.node(i);
+    if (node.fused_away) continue;
+    CostEstimate est;
+    try {
+      est = ctx.scorer->score(node.spec);
+    } catch (const fw::SpecTypeError& e) {
+      // A planner-constructed spec with a bad slot: fail with the node's
+      // identity attached, catchably, instead of aborting mid-plan.
+      throw PlanError(std::string("scoring graph node '") + node.label +
+                      "': " + e.what());
+    }
+    if (!est.valid) continue;  // no model: keep the default backend
+    const fw::Backend chosen = est.winner();
+    const fw::Backend before =
+        ctx.plan->backends[static_cast<std::size_t>(i)];
+    ctx.plan->backends[static_cast<std::size_t>(i)] = chosen;
+    if (chosen != before) ++changes;
+    if (ctx.report != nullptr) {
+      PlanDecision d;
+      d.pass = "score-backends";
+      d.node = i;
+      d.op = node.spec.name;
+      d.label = node.label;
+      d.predicted_fused_ns = est.fused_ns;
+      d.predicted_baseline_ns = est.baseline_ns;
+      d.calibrated = est.calibrated;
+      d.accepted = chosen != before;
+      d.choice = chosen == fw::Backend::kFused ? "fused" : "baseline";
+      d.why = chosen == fw::Backend::kFused
+                  ? "fused path predicted no slower than the baseline"
+                  : "fused path predicted slower — rewrite rejected, "
+                    "bulk-synchronous baseline planned";
+      ctx.report->decisions.push_back(std::move(d));
+    }
+  }
+  return changes;
+}
+
+int select_ccl_algo(fw::Graph& graph, PassContext& ctx) {
+  if (ctx.scorer == nullptr || ctx.plan == nullptr) return 0;
+  int changes = 0;
+  for (int i = 0; i < graph.num_nodes(); ++i) {
+    const fw::GraphNode& node = graph.node(i);
+    if (node.fused_away) continue;
+    if (ctx.plan->backends[static_cast<std::size_t>(i)] !=
+        fw::Backend::kBaseline) {
+      continue;  // fused kernels own their communication schedule
+    }
+    const OpCostModel* model = ctx.scorer->model(node.spec.name);
+    if (model == nullptr || model->allreduce_candidates.empty() ||
+        model->allreduce_time == nullptr ||
+        model->set_allreduce_algo == nullptr) {
+      continue;
+    }
+    const ccl::AllReduceAlgo current =
+        model->allreduce_algo != nullptr
+            ? model->allreduce_algo(node.spec)
+            : ccl::AllReduceAlgo::kTwoPhaseDirect;
+    double current_ns = 0.0;
+    ccl::AllReduceAlgo best = current;
+    double best_ns = 0.0;
+    try {
+      current_ns =
+          model->allreduce_time(node.spec, ctx.scorer->env(), current);
+      best_ns = current_ns;
+      for (const ccl::AllReduceAlgo algo : model->allreduce_candidates) {
+        const double t =
+            model->allreduce_time(node.spec, ctx.scorer->env(), algo);
+        if (t < best_ns) {
+          best = algo;
+          best_ns = t;
+        }
+      }
+    } catch (const fw::SpecTypeError& e) {
+      throw PlanError(std::string("selecting ccl algo for graph node '") +
+                      node.label + "': " + e.what());
+    }
+    const bool apply =
+        best != current && best_ns < current_ns * (1.0 - kAlgoSwitchMargin);
+    if (apply) {
+      model->set_allreduce_algo(graph.mutable_spec(i), best);
+      ctx.plan->allreduce_algos.push_back(AlgoChoice{i, best});
+      ++changes;
+    }
+    if (ctx.report != nullptr) {
+      PlanDecision d;
+      d.pass = "select-ccl-algo";
+      d.node = i;
+      d.op = node.spec.name;
+      d.label = node.label;
+      // Re-purpose the cost pair as chosen-vs-incumbent collective time.
+      d.predicted_fused_ns = best_ns;
+      d.predicted_baseline_ns = current_ns;
+      d.accepted = apply;
+      d.choice = allreduce_algo_name(apply ? best : current);
+      d.why = apply ? "predicted clearly faster than the incumbent algorithm"
+                    : "no candidate beat the incumbent by the switch margin";
+      ctx.report->decisions.push_back(std::move(d));
+    }
+  }
+  return changes;
+}
+
+const PassRegistrar fuse_patterns_registrar{
+    PassInfo{"fuse-patterns",
+             "collapse registered producer+consumer patterns into fused ops",
+             10, true},
+    fuse_patterns};
+
+const PassRegistrar score_backends_registrar{
+    PassInfo{"score-backends",
+             "pick fused vs baseline backend per node by predicted cost",
+             20, true},
+    score_backends};
+
+const PassRegistrar select_ccl_algo_registrar{
+    PassInfo{"select-ccl-algo",
+             "pick the cheapest predicted ccl algorithm per baseline "
+             "collective",
+             30, true},
+    select_ccl_algo};
+
+}  // namespace
+}  // namespace fcc::plan

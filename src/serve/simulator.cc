@@ -29,16 +29,82 @@ Simulator::Simulator(gpu::Machine& machine, shmem::World& world,
   FCC_CHECK(cfg_.lanes >= 1);
   for (const ServeClass& c : catalog_) FCC_CHECK(!c.chain.empty());
 
+  plan_chains();
+
   const fw::OpRegistry& registry = fw::OpRegistry::global();
   lane_ops_.resize(static_cast<std::size_t>(cfg_.lanes));
   for (auto& per_class : lane_ops_) {
     per_class.resize(catalog_.size());
     for (std::size_t c = 0; c < catalog_.size(); ++c) {
-      for (const fw::OpSpec& spec : catalog_[c].chain) {
-        per_class[c].push_back(
-            registry.at(spec.name).make(world_, spec, cfg_.backend));
+      for (const auto& [spec, backend] : planned_chains_[c]) {
+        per_class[c].push_back(registry.at(spec.name).make(world_, spec,
+                                                           backend));
       }
     }
+  }
+}
+
+void Simulator::plan_chains() {
+  planned_chains_.resize(catalog_.size());
+  if (!cfg_.planner) {
+    // Identity: every catalog stage on the configured backend.
+    for (std::size_t c = 0; c < catalog_.size(); ++c) {
+      for (const fw::OpSpec& spec : catalog_[c].chain) {
+        planned_chains_[c].emplace_back(spec, cfg_.backend);
+      }
+    }
+    return;
+  }
+
+  const std::int64_t hits0 =
+      cfg_.plan_cache != nullptr ? cfg_.plan_cache->stats().hits : 0;
+  const std::int64_t miss0 =
+      cfg_.plan_cache != nullptr ? cfg_.plan_cache->stats().misses : 0;
+  const std::int64_t unc0 =
+      cfg_.plan_cache != nullptr ? cfg_.plan_cache->stats().uncacheable : 0;
+
+  plan::Planner planner;
+  plan::PlanOptions options;
+  options.default_backend = cfg_.backend;
+  options.cache = cfg_.plan_cache;
+  for (std::size_t c = 0; c < catalog_.size(); ++c) {
+    // Each chain is a linear graph: stage i's output feeds stage i+1.
+    fw::Graph g;
+    fw::TensorId prev{};
+    for (std::size_t s = 0; s < catalog_[c].chain.size(); ++s) {
+      auto out = g.tensor(catalog_[c].name + ".t" + std::to_string(s));
+      std::vector<fw::TensorId> inputs;
+      if (s > 0) inputs.push_back(prev);
+      g.add(catalog_[c].chain[s], inputs, {out},
+            catalog_[c].name + "#" + std::to_string(s));
+      prev = out;
+    }
+
+    plan::Planned planned = planner.plan(g, machine_.config(), options);
+    for (int id = 0; id < planned.graph.num_nodes(); ++id) {
+      const fw::GraphNode& node = planned.graph.node(id);
+      if (node.fused_away) continue;
+      const fw::Backend backend =
+          planned.plan.backends[static_cast<std::size_t>(id)];
+      planned_chains_[c].emplace_back(node.spec, backend);
+      if (backend == fw::Backend::kFused) {
+        ++plan_summary_.fused_stages;
+      } else {
+        ++plan_summary_.baseline_stages;
+      }
+    }
+    ++plan_summary_.chains_planned;
+    plan_summary_.passes_run +=
+        static_cast<int>(planned.report.passes.size());
+    plan_summary_.algo_overrides +=
+        static_cast<int>(planned.plan.allreduce_algos.size());
+    plan_summary_.planning_host_ns += planned.report.planning_host_ns;
+    plan_reports_.push_back(std::move(planned.report));
+  }
+  if (cfg_.plan_cache != nullptr) {
+    plan_summary_.cache_hits = cfg_.plan_cache->stats().hits - hits0;
+    plan_summary_.cache_misses = cfg_.plan_cache->stats().misses - miss0;
+    plan_summary_.uncacheable = cfg_.plan_cache->stats().uncacheable - unc0;
   }
 }
 
@@ -75,6 +141,7 @@ ServeReport Simulator::run(const std::vector<Arrival>& trace) {
 
   ServeReport report;
   report.records = std::move(records_);
+  report.plan = plan_summary_;
   report.per_class.resize(catalog_.size());
   report.first_arrival = trace.empty() ? 0 : trace.front().t;
   for (const RequestRecord& r : report.records) {

@@ -30,6 +30,8 @@
 #include "framework/op_registry.h"
 #include "fused/op_runtime.h"
 #include "gpu/machine.h"
+#include "plan/plan_cache.h"
+#include "plan/planner.h"
 #include "serve/arrivals.h"
 #include "serve/batcher.h"
 #include "serve/catalog.h"
@@ -73,6 +75,30 @@ struct ServeConfig {
   fw::Backend backend = fw::Backend::kFused;
   TimeoutPolicy timeout;
   BrownoutPolicy brownout;
+  /// Route each class chain through the planning pipeline at construction:
+  /// per-stage fused/baseline choice on predicted win, ccl algorithm
+  /// steering. Off = every stage runs on `backend` unchanged (the
+  /// historical behaviour).
+  bool planner = false;
+  /// Optional shared PlanCache for chain plans; a warm cache makes a
+  /// second simulator replay identical decisions with zero passes re-run.
+  plan::PlanCache* plan_cache = nullptr;
+};
+
+/// Construction-time planning counters, RunStats-style. Copied into every
+/// ServeReport so sweep tooling can log hit rates next to latency stats.
+/// `planning_host_ns` is host wall-clock and is NOT part of the
+/// determinism surface (byte-identical runs may differ there).
+struct PlanSummary {
+  int chains_planned = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t uncacheable = 0;
+  int passes_run = 0;      // pass executions across all chains
+  int fused_stages = 0;    // stages planned onto the fused backend
+  int baseline_stages = 0; // stages planned onto the baseline
+  int algo_overrides = 0;  // ccl algorithm choices applied
+  double planning_host_ns = 0.0;
 };
 
 /// One request's exact timeline, run-relative ns. Rejected and shed
@@ -114,6 +140,7 @@ struct ServeReport {
   std::vector<RequestRecord> records;  // [trace index]
   std::vector<ClassStats> per_class;   // [cls]
   ClassStats overall;
+  PlanSummary plan;  // construction-time planning counters
   TimeNs first_arrival = 0;
   TimeNs last_end = 0;
 
@@ -137,6 +164,13 @@ class Simulator {
 
   const std::vector<ServeClass>& catalog() const { return catalog_; }
   const ServeConfig& config() const { return cfg_; }
+  /// Construction-time planning counters (zeros when cfg.planner is off).
+  const PlanSummary& plan_summary() const { return plan_summary_; }
+  /// The planner's reports, one per class, in catalog order (empty when
+  /// cfg.planner is off) — each explains every stage's accept/reject.
+  const std::vector<plan::PlanReport>& plan_reports() const {
+    return plan_reports_;
+  }
 
  private:
   sim::Task arrival_proc(sim::Engine& engine,
@@ -149,10 +183,22 @@ class Simulator {
   void note_service(int cls, TimeNs service_ns);
   bool browned_out(int cls) const;
 
+  /// Plans every class chain through the pass pipeline, filling
+  /// planned_chains_ with each stage's (possibly algorithm-steered) spec
+  /// and chosen backend, and plan_summary_/plan_reports_ with the
+  /// accounting. No-op when cfg_.planner is off.
+  void plan_chains();
+
   gpu::Machine& machine_;
   shmem::World& world_;
   std::vector<ServeClass> catalog_;
   ServeConfig cfg_;
+  /// [cls][stage] -> (spec, backend) the lanes execute; identity copy of
+  /// the catalog chains on cfg_.backend unless the planner rewrote them.
+  std::vector<std::vector<std::pair<fw::OpSpec, fw::Backend>>>
+      planned_chains_;
+  PlanSummary plan_summary_;
+  std::vector<plan::PlanReport> plan_reports_;
   /// [lane][cls][stage]; built once, re-spawned per batch.
   std::vector<std::vector<std::vector<std::unique_ptr<fused::FusedOp>>>>
       lane_ops_;

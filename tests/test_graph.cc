@@ -19,7 +19,8 @@ namespace {
 // ---------------------------------------------------------------------------
 // Test-local ops: a pure-delay op (no device/fabric contention, so node
 // results depend only on start time) and a fusable producer/consumer pair
-// whose OpEntry carries only the free-text `replaces` (fallback parsing).
+// declared via the structured `pattern` metadata (the sole rewrite source;
+// the free-text `replaces` is documentary and never parsed).
 // ---------------------------------------------------------------------------
 
 struct DelayConfig {
@@ -61,10 +62,11 @@ OpEntry delay_entry(std::string name) {
 
 const OpRegistrar delay_registrar{delay_entry("graphtest::delay")};
 
-// Fused pair registered with *only* the replaces doc string — the rewrite
-// pass must fall back to parsing it.
+// Fused pair registered with the structured pattern; the replaces string is
+// purely documentary and must never be parsed.
 OpEntry fused_pair_entry() {
   OpEntry e = delay_entry("graphtest::fused_pair");
+  e.pattern = {"graphtest::prod", "graphtest::cons"};
   e.replaces = "graphtest::prod + graphtest::cons (satellite smoke)";
   return e;
 }
@@ -176,11 +178,10 @@ TEST(RewritePass, RewrittenGraphEqualsDirectFusedDispatch) {
   EXPECT_EQ(gr.makespan(), direct.duration());
 }
 
-TEST(RewritePass, FallsBackToParsingReplaces) {
-  // graphtest::fused_pair declares its pattern only via `replaces`; the
-  // producer is config-free, so the merged node takes the consumer's
-  // config (the fallback side of the "compute node carries the config"
-  // convention).
+TEST(RewritePass, StructuredPatternFusesConfigFreeProducer) {
+  // graphtest::fused_pair declares its pattern structurally; the producer
+  // is config-free, so the merged node takes the consumer's config (the
+  // fallback side of the "compute node carries the config" convention).
   DelayConfig cfg;
   cfg.fused_ns = 777;
   Graph g;
@@ -336,11 +337,32 @@ TEST(RewritePass, DuplicatePatternDeclarationsThrow) {
   OpEntry a = delay_entry("dup::a");
   a.pattern = {"dup::prod", "dup::cons"};
   OpEntry b = delay_entry("dup::b");
-  b.replaces = "dup::prod + dup::cons";  // same pattern via the fallback
+  b.pattern = {"dup::prod", "dup::cons"};  // same structured pattern
   reg.register_op(std::move(a));
   reg.register_op(std::move(b));
   Graph g;
   EXPECT_THROW(rewrite_fused(g, reg), std::logic_error);
+}
+
+TEST(RewritePass, ReplacesStringIsNeverParsed) {
+  // An entry that only documents its lineage via `replaces` — with no
+  // structured pattern — must not cause any rewrite: the string is
+  // documentary, the parser fallback is gone.
+  OpRegistry reg;
+  reg.register_op(delay_entry("doc::prod"));
+  reg.register_op(delay_entry("doc::cons"));
+  OpEntry fused = delay_entry("doc::fused");
+  fused.replaces = "doc::prod + doc::cons";
+  reg.register_op(std::move(fused));
+
+  DelayConfig cfg;
+  Graph g;
+  auto t = g.tensor("t");
+  auto u = g.tensor("u");
+  g.add("doc::prod", cfg, {}, {t});
+  g.add("doc::cons", cfg, {t}, {u});
+  EXPECT_EQ(rewrite_fused(g, reg), 0);
+  EXPECT_EQ(g.num_live_nodes(), 2);
 }
 
 // A mis-typed node config must throw catchably from Session::run — the

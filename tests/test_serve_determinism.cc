@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <utility>
 #include <vector>
 
 #include "gpu/machine.h"
+#include "plan/plan_cache.h"
 #include "serve/arrivals.h"
 #include "serve/catalog.h"
 #include "serve/simulator.h"
@@ -109,6 +111,100 @@ TEST(ServeDeterminism, SweepThreadCountDoesNotChangeRecords) {
   setenv("FCC_SWEEP_THREADS", "4", 1);
   const auto parallel = fccbench::run_sweep<std::vector<RequestRecord>>(
       "serve_determinism_parallel", 4, point);
+  unsetenv("FCC_SWEEP_THREADS");
+  unsetenv("FCC_BENCH_OUT");
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "sweep point " << i;
+  }
+}
+
+TEST(ServeDeterminism, PlannerEnabledRunsAreByteIdentical) {
+  // Routing every class chain through the planning pipeline must not
+  // perturb determinism: planning is pure host work, so two fresh
+  // planner-enabled simulators produce byte-identical records.
+  const auto trace = smoke_trace(19);
+  auto run_planned = [&] {
+    gpu::Machine machine(one_node_four_gpus());
+    shmem::World world(machine);
+    ServeConfig cfg;
+    cfg.planner = true;
+    Simulator sim(machine, world, default_catalog(machine.num_pes()), cfg);
+    return sim.run(trace);
+  };
+  const ServeReport a = run_planned();
+  const ServeReport b = run_planned();
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.per_class, b.per_class);
+  EXPECT_GT(a.plan.chains_planned, 0);
+  // Counters (minus host wall-clock) are part of the determinism surface.
+  EXPECT_EQ(a.plan.fused_stages, b.plan.fused_stages);
+  EXPECT_EQ(a.plan.baseline_stages, b.plan.baseline_stages);
+  EXPECT_EQ(a.plan.algo_overrides, b.plan.algo_overrides);
+}
+
+TEST(ServeDeterminism, WarmPlanCacheReplaysColdDecisions) {
+  // Two simulators sharing one PlanCache: the second's chains hit the
+  // cache (zero passes re-run) and its simulated records match the cold
+  // planner's byte for byte — a warm plan replay changes nothing.
+  const auto trace = smoke_trace(23);
+  plan::PlanCache cache(32);
+  auto run_shared = [&] {
+    gpu::Machine machine(one_node_four_gpus());
+    shmem::World world(machine);
+    ServeConfig cfg;
+    cfg.planner = true;
+    cfg.plan_cache = &cache;
+    Simulator sim(machine, world, default_catalog(machine.num_pes()), cfg);
+    ServeReport report = sim.run(trace);
+    return std::make_pair(std::move(report), sim.plan_reports());
+  };
+
+  const auto [cold, cold_reports] = run_shared();
+  EXPECT_EQ(cold.plan.cache_hits, 0);
+  EXPECT_GT(cold.plan.cache_misses, 0);
+  EXPECT_GT(cold.plan.passes_run, 0);
+
+  const auto [warm, warm_reports] = run_shared();
+  EXPECT_EQ(warm.plan.cache_hits, cold.plan.cache_misses);
+  EXPECT_EQ(warm.plan.cache_misses, 0);
+  EXPECT_EQ(warm.plan.passes_run, 0);
+  ASSERT_EQ(warm_reports.size(), cold_reports.size());
+  for (std::size_t c = 0; c < warm_reports.size(); ++c) {
+    EXPECT_TRUE(warm_reports[c].cache_hit) << "class " << c;
+    EXPECT_TRUE(warm_reports[c].passes.empty()) << "class " << c;
+    EXPECT_EQ(warm_reports[c].graph_key, cold_reports[c].graph_key);
+  }
+  EXPECT_EQ(warm.records, cold.records);
+  EXPECT_EQ(warm.per_class, cold.per_class);
+}
+
+TEST(ServeDeterminism, SweepThreadsDoNotChangePlannedRecords) {
+  // The planner-enabled variant of the sweep-thread invariant: each point
+  // plans with its own cache, so host-thread interleaving can't leak into
+  // the planned decisions or the records.
+  setenv("FCC_BENCH_OUT", "/tmp/fcc_test_serve_sweep_out", 1);
+  auto point = [](int i) {
+    const auto trace =
+        smoke_trace(2000 + static_cast<std::uint64_t>(i), /*n=*/60,
+                    /*rps=*/3e4 * (i + 1));
+    gpu::Machine machine(one_node_four_gpus());
+    shmem::World world(machine);
+    plan::PlanCache cache(16);  // per-point: PlanCache is not thread-safe
+    ServeConfig cfg;
+    cfg.planner = true;
+    cfg.plan_cache = &cache;
+    Simulator sim(machine, world, default_catalog(machine.num_pes()), cfg);
+    return sim.run(trace).records;
+  };
+
+  setenv("FCC_SWEEP_THREADS", "1", 1);
+  const auto serial = fccbench::run_sweep<std::vector<RequestRecord>>(
+      "serve_planned_determinism_serial", 4, point);
+  setenv("FCC_SWEEP_THREADS", "4", 1);
+  const auto parallel = fccbench::run_sweep<std::vector<RequestRecord>>(
+      "serve_planned_determinism_parallel", 4, point);
   unsetenv("FCC_SWEEP_THREADS");
   unsetenv("FCC_BENCH_OUT");
 

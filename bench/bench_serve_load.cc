@@ -15,10 +15,23 @@
 // and a nonzero exit unless every topology shows a visible knee
 // (p99 at the highest load > 2x p99 at the lowest).
 //
+// Second section: one serve point re-run on the sharded engine at 1/2/4/8
+// shards, on a dedicated 8-node x 1-GPU fully-connected machine (the sweep
+// fabrics are single-node, and shards partition node-aligned; the torus is
+// skipped deliberately — deferred-reservation replay is only order-exact
+// for a single operator's per-PE issue streams, and concurrent serving
+// lanes interleave same-timestamp issues across PEs, see shmem/world.h).
+// Request records and aggregates are asserted byte-identical to the serial
+// engine; measured + attainable host speedups land under
+// `fused_shard_scaling` in host_perf.json next to the Fig. 15 flagship.
+//
 // Env knobs (CI smoke uses tiny values):
 //   FCC_SERVE_BENCH_REQS   requests per point        (default 400)
 //   FCC_SERVE_BENCH_LOADS  comma list of load fracs  (default
 //                          0.2,0.4,0.6,0.8,1.0,1.25,1.5)
+//   FCC_SERVE_SHARD_ITERS  timed serve runs per shard count  (default 3)
+//   FCC_SERVE_SHARD_MAX    highest shard count               (default 8)
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -145,6 +158,109 @@ PointResult run_point(const Topo& topo, double offered_rps, int num_reqs,
   return r;
 }
 
+// --------------------------------------------------------------------------
+// Sharded serve scaling: the same serve point on the sharded engine.
+
+struct ServeShardPoint {
+  serve::ServeReport report;
+  double wall_s = 0;
+  sim::ShardedEngine::RunStats stats;  // summed over timed iterations
+};
+
+ServeShardPoint run_serve_sharded(const Topo& topo, int shards, double rps,
+                                  int num_reqs, int iters) {
+  gpu::Machine::Config mc = topo.machine;
+  mc.num_shards = shards;
+  gpu::Machine machine(mc);
+  shmem::World world(machine);
+  auto catalog = serve::default_catalog(machine.num_pes());
+  const auto weights = serve::class_weights(catalog);
+  serve::Simulator sim(machine, world, std::move(catalog));
+  const auto trace = serve::poisson_trace(rps, num_reqs, 0x5e12f00d, weights);
+
+  ServeShardPoint p;
+  p.report = sim.run(trace);  // warm-up; allocations out of the timing
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    const serve::ServeReport again = sim.run(trace);
+    FCC_CHECK_MSG(again.records == p.report.records,
+                  topo.name << " at " << shards
+                            << " shards: warm serve replay diverged");
+    const auto& s = machine.last_run_stats();
+    p.stats.events += s.events;
+    p.stats.windows += s.windows;
+    p.stats.messages += s.messages;
+    p.stats.barrier_wall_ns += s.barrier_wall_ns;
+    p.stats.window_wall_ns += s.window_wall_ns;
+    p.stats.critical_wall_ns += s.critical_wall_ns;
+  }
+  p.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return p;
+}
+
+void run_serve_shard_scaling(const Topo& topo, double capacity, int num_reqs,
+                             PerfJson& perf) {
+  const int iters = env_int("FCC_SERVE_SHARD_ITERS", 3);
+  const int max_shards = env_int("FCC_SERVE_SHARD_MAX", 8);
+  if (max_shards < 1) return;
+  const double rps = 0.8 * capacity;  // just under the knee
+
+  AsciiTable table({"shards", "wall (ms)", "speedup", "attainable", "done",
+                    "windows"});
+  ServeShardPoint serial;
+  for (const int shards : {1, 2, 4, 8}) {
+    if (shards > max_shards || shards > topo.machine.num_nodes) continue;
+    ServeShardPoint p = run_serve_sharded(topo, shards, rps, num_reqs, iters);
+    if (shards == 1) {
+      serial = std::move(p);
+      table.add_row({"1", AsciiTable::fmt(serial.wall_s * 1e3, 1), "1.00",
+                     "1.00", std::to_string(serial.report.overall.completed),
+                     std::to_string(serial.stats.windows)});
+      continue;
+    }
+    FCC_CHECK_MSG(p.report.records == serial.report.records,
+                  topo.name << ": sharded serve records diverged from serial "
+                               "at "
+                            << shards << " shards");
+    FCC_CHECK_MSG(p.report.overall == serial.report.overall,
+                  topo.name << ": sharded serve aggregates diverged from "
+                               "serial at "
+                            << shards << " shards");
+    const double speedup = p.wall_s > 0 ? serial.wall_s / p.wall_s : 0;
+    // Wall-clock floor with one core per shard: time outside the windows
+    // plus each window's slowest shard (same derivation as the Fig. 15
+    // flagship and bench_shard_scaling).
+    const double window_s = static_cast<double>(p.stats.window_wall_ns) * 1e-9;
+    const double critical_s =
+        static_cast<double>(p.stats.critical_wall_ns) * 1e-9;
+    const double att_wall =
+        (p.wall_s > window_s ? p.wall_s - window_s : 0) + critical_s;
+    const double attainable = att_wall > 0 ? serial.wall_s / att_wall : 0;
+    table.add_row({std::to_string(shards), AsciiTable::fmt(p.wall_s * 1e3, 1),
+                   AsciiTable::fmt(speedup, 2), AsciiTable::fmt(attainable, 2),
+                   std::to_string(p.report.overall.completed),
+                   std::to_string(p.stats.windows)});
+    perf.set("fused_shard_scaling",
+             "serve_wall_seconds_shards" + std::to_string(shards), p.wall_s);
+    perf.set("fused_shard_scaling",
+             "serve_speedup_" + std::to_string(shards) + "_shards", speedup);
+    perf.set("fused_shard_scaling",
+             "serve_attainable_speedup_" + std::to_string(shards) + "_shards",
+             attainable);
+  }
+  perf.set("fused_shard_scaling", "serve_wall_seconds_shards1",
+           serial.wall_s);
+
+  std::cout << "\nSharded serve scaling — " << topo.name << ", "
+            << AsciiTable::fmt(rps, 0) << " rps (0.8x capacity), " << num_reqs
+            << " requests, " << iters << " timed runs/point\n";
+  table.print(std::cout);
+  std::cout << "request records byte-identical to serial at every shard "
+               "count (asserted)\n";
+}
+
 }  // namespace
 
 int main() {
@@ -221,6 +337,16 @@ int main() {
       knee_everywhere = false;
     }
   }
+  // Same stack, sharded engine: the torus point (the only multi-node fabric
+  // here) at 1/2/4/8 shards, byte-identity asserted.
+  Topo shard_topo{"fully_connected_8x1", {}};
+  shard_topo.machine.num_nodes = 8;
+  shard_topo.machine.gpus_per_node = 1;
+  const double shard_capacity =
+      static_cast<double>(scfg.lanes * scfg.policy.max_batch) * 1e9 /
+      calibrate_service_ns(shard_topo.machine);
+  run_serve_shard_scaling(shard_topo, shard_capacity, num_reqs, perf);
+
   perf.save(perf_path);
   return knee_everywhere ? 0 : 1;
 }

@@ -1,6 +1,9 @@
 #include "ccl/communicator.h"
 
 #include <algorithm>
+#include <coroutine>
+#include <functional>
+#include <utility>
 
 #include "sim/task.h"
 
@@ -8,6 +11,45 @@ namespace fcc::ccl {
 namespace {
 
 constexpr Bytes elems_to_bytes(std::int64_t n) { return n * 4; }
+
+/// Runs a link-reservation sweep and hands back the computed end time.
+///
+/// Serial machines compute inline in await_ready — no suspension, so the
+/// event sequence is byte-identical to the historical inline sweeps.
+/// Sharded machines suspend the (shard-0) driver and defer the sweep to the
+/// next window barrier, where every shard thread is parked: the sweep reads
+/// and reserves link state across all shards data-race-free, then the
+/// driver resumes at the exact computed end (a rewind entry when shard 0's
+/// frontier already passed it — legal, the continuation only touches
+/// shard-0 host state before its next >= lookahead delay). Collectives that
+/// overlap other put traffic inside the same window therefore serialize
+/// their reservations at the barrier, an ordering approximation consistent
+/// with the sharded engine's same-timestamp tie-breaking caveat.
+class SweepAwaiter {
+ public:
+  SweepAwaiter(gpu::Machine& machine, TimeNs t0,
+               std::function<TimeNs(TimeNs)> sweep)
+      : machine_(machine), t0_(t0), sweep_(std::move(sweep)) {}
+
+  bool await_ready() {
+    if (machine_.is_sharded()) return false;
+    end_ = sweep_(t0_);
+    return true;
+  }
+  void await_suspend(std::coroutine_handle<> h) {
+    machine_.call_at_barrier([this, h] {
+      end_ = sweep_(t0_);
+      machine_.engine().schedule_resume_at_unchecked(end_, h);
+    });
+  }
+  TimeNs await_resume() const { return end_; }
+
+ private:
+  gpu::Machine& machine_;
+  TimeNs t0_;
+  std::function<TimeNs(TimeNs)> sweep_;
+  TimeNs end_ = 0;
+};
 
 }  // namespace
 
@@ -272,20 +314,20 @@ sim::Co Communicator::all_reduce(std::int64_t n_elems, FloatBufs bufs,
   }
 
   if (algo == AllReduceAlgo::kAuto) algo = select_allreduce();
-  TimeNs end = t0;
-  switch (algo) {
-    case AllReduceAlgo::kTwoPhaseDirect:
-      end = flat_direct_time(n_elems, t0);
-      break;
-    case AllReduceAlgo::kRing:
-      end = flat_ring_time(n_elems, t0);
-      break;
-    case AllReduceAlgo::kHierarchical:
-      end = hierarchical_allreduce_time(n_elems, t0);
-      break;
-    case AllReduceAlgo::kAuto:
-      break;  // unreachable: resolved above
-  }
+  const TimeNs end = co_await SweepAwaiter(
+      machine_, t0, [this, n_elems, algo](TimeNs t) {
+        switch (algo) {
+          case AllReduceAlgo::kTwoPhaseDirect:
+            return flat_direct_time(n_elems, t);
+          case AllReduceAlgo::kRing:
+            return flat_ring_time(n_elems, t);
+          case AllReduceAlgo::kHierarchical:
+            return hierarchical_allreduce_time(n_elems, t);
+          case AllReduceAlgo::kAuto:
+            break;  // unreachable: resolved above
+        }
+        return t;
+      });
 
   last_duration_ = end - t0 + kSwOverheadNs;
   co_await sim::delay_until(machine_.engine(), end);
@@ -446,9 +488,12 @@ sim::Co Communicator::all_to_all(std::int64_t chunk_elems, FloatBufs send,
   }
 
   if (algo == AllToAllAlgo::kAuto) algo = select_a2a();
-  const TimeNs end = algo == AllToAllAlgo::kNodeAggregate
-                         ? node_aggregate_a2a_time(chunk_elems, t0)
-                         : pairwise_a2a_time(chunk_elems, t0);
+  const TimeNs end = co_await SweepAwaiter(
+      machine_, t0, [this, chunk_elems, algo](TimeNs t) {
+        return algo == AllToAllAlgo::kNodeAggregate
+                   ? node_aggregate_a2a_time(chunk_elems, t)
+                   : pairwise_a2a_time(chunk_elems, t);
+      });
   last_duration_ = end - t0 + kSwOverheadNs;
   co_await sim::delay_until(machine_.engine(), end);
 }
@@ -483,16 +528,20 @@ sim::Co Communicator::reduce_scatter(std::int64_t chunk_elems,
     }
   }
 
-  TimeNs end = t0;
-  for (int dst = 0; dst < n; ++dst) {
-    TimeNs arrive = t0;
-    for (int src = 0; src < n; ++src) {
-      if (src == dst) continue;
-      arrive = std::max(arrive, machine_.remote_write_time(
-                                    pe(src), pe(dst), chunk_bytes, t0));
-    }
-    end = std::max(end, arrive + reduce_cost(chunk_bytes * n));
-  }
+  const TimeNs end = co_await SweepAwaiter(
+      machine_, t0, [this, n, chunk_bytes](TimeNs t) {
+        TimeNs e = t;
+        for (int dst = 0; dst < n; ++dst) {
+          TimeNs arrive = t;
+          for (int src = 0; src < n; ++src) {
+            if (src == dst) continue;
+            arrive = std::max(arrive, machine_.remote_write_time(
+                                          pe(src), pe(dst), chunk_bytes, t));
+          }
+          e = std::max(e, arrive + reduce_cost(chunk_bytes * n));
+        }
+        return e;
+      });
   last_duration_ = end - t0 + kSwOverheadNs;
   co_await sim::delay_until(machine_.engine(), end);
 }
@@ -520,14 +569,18 @@ sim::Co Communicator::all_gather(std::int64_t chunk_elems, FloatBufs bufs) {
     }
   }
 
-  TimeNs end = t0;
-  for (int round = 1; round < n; ++round) {
-    for (int src = 0; src < n; ++src) {
-      const int dst = (src + round) % n;
-      end = std::max(end, machine_.remote_write_time(pe(src), pe(dst),
-                                                     chunk_bytes, t0));
-    }
-  }
+  const TimeNs end = co_await SweepAwaiter(
+      machine_, t0, [this, n, chunk_bytes](TimeNs t) {
+        TimeNs e = t;
+        for (int round = 1; round < n; ++round) {
+          for (int src = 0; src < n; ++src) {
+            const int dst = (src + round) % n;
+            e = std::max(e, machine_.remote_write_time(pe(src), pe(dst),
+                                                       chunk_bytes, t));
+          }
+        }
+        return e;
+      });
   last_duration_ = end - t0 + kSwOverheadNs;
   co_await sim::delay_until(machine_.engine(), end);
 }
@@ -550,12 +603,16 @@ sim::Co Communicator::broadcast(std::int64_t n_elems, int root,
     }
   }
 
-  TimeNs end = t0;
-  for (int dst = 0; dst < n; ++dst) {
-    if (dst == root) continue;
-    end = std::max(end,
-                   machine_.remote_write_time(pe(root), pe(dst), bytes, t0));
-  }
+  const TimeNs end = co_await SweepAwaiter(
+      machine_, t0, [this, n, root, bytes](TimeNs t) {
+        TimeNs e = t;
+        for (int dst = 0; dst < n; ++dst) {
+          if (dst == root) continue;
+          e = std::max(e,
+                       machine_.remote_write_time(pe(root), pe(dst), bytes, t));
+        }
+        return e;
+      });
   last_duration_ = end - t0 + kSwOverheadNs;
   co_await sim::delay_until(machine_.engine(), end);
 }
@@ -605,20 +662,24 @@ sim::Co Communicator::all_to_all_v(const std::vector<std::int64_t>& counts,
     }
   }
 
-  TimeNs end = t0;
-  for (int round = 1; round < n; ++round) {
-    for (int s = 0; s < n; ++s) {
-      const int d = (s + round) % n;
-      const Bytes bytes = count(s, d) * 4;
-      if (bytes == 0) continue;
-      end = std::max(end,
-                     machine_.remote_write_time(pe(s), pe(d), bytes, t0));
-    }
-  }
-  // Local segments are HBM copies.
-  for (int r = 0; r < n; ++r) {
-    end = std::max(end, t0 + reduce_cost(2 * count(r, r) * 4));
-  }
+  const TimeNs end = co_await SweepAwaiter(
+      machine_, t0, [this, n, &count](TimeNs t) {
+        TimeNs e = t;
+        for (int round = 1; round < n; ++round) {
+          for (int s = 0; s < n; ++s) {
+            const int d = (s + round) % n;
+            const Bytes bytes = count(s, d) * 4;
+            if (bytes == 0) continue;
+            e = std::max(e,
+                         machine_.remote_write_time(pe(s), pe(d), bytes, t));
+          }
+        }
+        // Local segments are HBM copies.
+        for (int r = 0; r < n; ++r) {
+          e = std::max(e, t + reduce_cost(2 * count(r, r) * 4));
+        }
+        return e;
+      });
   last_duration_ = end - t0 + kSwOverheadNs;
   co_await sim::delay_until(machine_.engine(), end);
 }
@@ -644,12 +705,16 @@ sim::Co Communicator::gather(std::int64_t chunk_elems, int root,
     }
   }
 
-  TimeNs end = t0;
-  for (int src = 0; src < n; ++src) {
-    if (src == root) continue;
-    end = std::max(end, machine_.remote_write_time(pe(src), pe(root),
-                                                   chunk_bytes, t0));
-  }
+  const TimeNs end = co_await SweepAwaiter(
+      machine_, t0, [this, n, root, chunk_bytes](TimeNs t) {
+        TimeNs e = t;
+        for (int src = 0; src < n; ++src) {
+          if (src == root) continue;
+          e = std::max(e, machine_.remote_write_time(pe(src), pe(root),
+                                                     chunk_bytes, t));
+        }
+        return e;
+      });
   last_duration_ = end - t0 + kSwOverheadNs;
   co_await sim::delay_until(machine_.engine(), end);
 }
@@ -675,12 +740,16 @@ sim::Co Communicator::scatter(std::int64_t chunk_elems, int root,
     }
   }
 
-  TimeNs end = t0;
-  for (int dst = 0; dst < n; ++dst) {
-    if (dst == root) continue;
-    end = std::max(end, machine_.remote_write_time(pe(root), pe(dst),
-                                                   chunk_bytes, t0));
-  }
+  const TimeNs end = co_await SweepAwaiter(
+      machine_, t0, [this, n, root, chunk_bytes](TimeNs t) {
+        TimeNs e = t;
+        for (int dst = 0; dst < n; ++dst) {
+          if (dst == root) continue;
+          e = std::max(e, machine_.remote_write_time(pe(root), pe(dst),
+                                                     chunk_bytes, t));
+        }
+        return e;
+      });
   last_duration_ = end - t0 + kSwOverheadNs;
   co_await sim::delay_until(machine_.engine(), end);
 }
@@ -704,13 +773,16 @@ sim::Co Communicator::reduce(std::int64_t n_elems, int root, FloatBufs bufs) {
     }
   }
 
-  TimeNs end = t0;
-  for (int src = 0; src < n; ++src) {
-    if (src == root) continue;
-    end = std::max(end, machine_.remote_write_time(pe(src), pe(root),
-                                                   bytes, t0));
-  }
-  end += reduce_cost(bytes * n);
+  const TimeNs end = co_await SweepAwaiter(
+      machine_, t0, [this, n, root, bytes](TimeNs t) {
+        TimeNs e = t;
+        for (int src = 0; src < n; ++src) {
+          if (src == root) continue;
+          e = std::max(e, machine_.remote_write_time(pe(src), pe(root),
+                                                     bytes, t));
+        }
+        return e + reduce_cost(bytes * n);
+      });
   last_duration_ = end - t0 + kSwOverheadNs;
   co_await sim::delay_until(machine_.engine(), end);
 }
@@ -720,13 +792,17 @@ sim::Co Communicator::barrier() {
   co_await sim::delay(machine_.engine(), kSwOverheadNs);
   const TimeNs t0 = machine_.engine().now();
   // Direct dissemination: every rank signals every other (8-byte flags).
-  TimeNs end = t0;
-  for (int round = 1; round < n; ++round) {
-    for (int s = 0; s < n; ++s) {
-      const int d = (s + round) % n;
-      end = std::max(end, machine_.remote_write_time(pe(s), pe(d), 8, t0));
-    }
-  }
+  const TimeNs end = co_await SweepAwaiter(
+      machine_, t0, [this, n](TimeNs t) {
+        TimeNs e = t;
+        for (int round = 1; round < n; ++round) {
+          for (int s = 0; s < n; ++s) {
+            const int d = (s + round) % n;
+            e = std::max(e, machine_.remote_write_time(pe(s), pe(d), 8, t));
+          }
+        }
+        return e;
+      });
   last_duration_ = end - t0 + kSwOverheadNs;
   co_await sim::delay_until(machine_.engine(), end);
 }

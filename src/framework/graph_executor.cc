@@ -107,7 +107,7 @@ GraphResult GraphExecutor::run(shmem::World& world,
     st.res.fused_from = node.fused_from;
     node_proc(engine, node, st, states);
   }
-  engine.run();
+  world.machine().run_all();
 
   std::vector<int> unfinished;
   for (int i = 0; i < n; ++i) {
@@ -122,15 +122,16 @@ GraphResult GraphExecutor::run(shmem::World& world,
     for (std::size_t k = 0; k < unfinished.size(); ++k) {
       os << (k ? ", " : "") << graph_.node(unfinished[k]).label;
     }
-    os << "] (" << engine.live_tasks() << " tasks suspended)";
+    os << "] (" << world.machine().sharded().live_tasks()
+       << " tasks suspended)";
     // Suspended driver frames still reference the node states; leak them
     // (the engine-wide deadlock policy — frames go with the process) so
     // ~OneShot never fires with parked waiters during unwinding.
     for (auto& st : states) (void)st.release();
     throw std::logic_error(os.str());
   }
-  FCC_CHECK_MSG(engine.live_tasks() == 0,
-                "graph drained but " << engine.live_tasks()
+  FCC_CHECK_MSG(world.machine().sharded().live_tasks() == 0,
+                "graph drained but " << world.machine().sharded().live_tasks()
                                      << " tasks still suspended");
 
   out.end = out.start;

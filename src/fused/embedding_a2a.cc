@@ -74,46 +74,51 @@ sim::Co FusedEmbeddingAllToAll::run() {
   const int pes = map.num_pes;
   const auto& spec = machine.device(0).spec();
 
-  // Reset per-run state.
+  // Reset per-run state. wg_done_/stage_ are written only by each owning
+  // PE's WG bodies on its home shard; slice_rdy_ wakes waiters on each PE's
+  // home engine (the World form of reset).
   wg_done_.assign(static_cast<std::size_t>(pes),
                   std::vector<shmem::WgDoneMask>(
                       static_cast<std::size_t>(map.num_slices()),
                       shmem::WgDoneMask(map.wgs_per_slice())));
-  slice_rdy_.reset(engine, pes, static_cast<std::size_t>(map.num_slices()));
+  slice_rdy_.reset(world_, static_cast<std::size_t>(map.num_slices()));
   if (cfg_.functional) {
     stage_.assign(static_cast<std::size_t>(pes),
                   std::vector<std::vector<float>>(
                       static_cast<std::size_t>(map.num_slices())));
   }
   runs_.clear();
+  runs_.resize(static_cast<std::size_t>(pes));
   begin_run(pes);
 
-  // One persistent-kernel launch per PE.
-  co_await sim::delay(engine, spec.kernel_launch_ns);
-
-  for (PeId pe = 0; pe < pes; ++pe) {
-    gpu::KernelRun::Params p;
-    p.name = "fused_emb_a2a";
-    p.num_slots = slots_per_pe_;
-    p.order = ordered_tasks(
-        map.num_logical_wgs(), cfg_.policy,
-        [&map, pe](int lw) { return map.wg_is_remote(pe, lw); });
-    p.body = [this, pe](int slot, int lw) { return pe_kernel_wg(pe, slot, lw); };
-    p.epilogue = [this, pe](int slot) { return pe_epilogue(pe, slot); };
-    runs_.push_back(std::make_unique<gpu::KernelRun>(engine, std::move(p)));
-  }
-  for (PeId pe = 0; pe < pes; ++pe) {
-    runs_[static_cast<std::size_t>(pe)]->start();
-    watch_completion(engine, *runs_[static_cast<std::size_t>(pe)],
-                     result_.pe_end[static_cast<std::size_t>(pe)]);
-  }
-  for (PeId pe = 0; pe < pes; ++pe) {
-    co_await runs_[static_cast<std::size_t>(pe)]->wait();
-  }
+  // One persistent-kernel launch per PE, spawned on each PE's home-shard
+  // engine at the post-launch instant; the driver resumes at the exact max
+  // completion time (run_per_pe_at), as the serial sequential awaits did.
+  co_await run_per_pe_at(engine.now() + spec.kernel_launch_ns, pes,
+                         [this](PeId pe) { return pe_body(pe); });
 
   // Host observes completion via one stream sync.
   co_await sim::delay(engine, spec.stream_sync_ns);
   finish_run();
+}
+
+sim::Co FusedEmbeddingAllToAll::pe_body(PeId pe) {
+  auto& machine = world_.machine();
+  sim::Engine& engine = machine.engine_of(pe);
+  const auto& map = cfg_.map;
+  gpu::KernelRun::Params p;
+  p.name = "fused_emb_a2a";
+  p.num_slots = slots_per_pe_;
+  p.order = ordered_tasks(
+      map.num_logical_wgs(), cfg_.policy,
+      [&map, pe](int lw) { return map.wg_is_remote(pe, lw); });
+  p.body = [this, pe](int slot, int lw) { return pe_kernel_wg(pe, slot, lw); };
+  p.epilogue = [this, pe](int slot) { return pe_epilogue(pe, slot); };
+  auto& run = runs_[static_cast<std::size_t>(pe)];
+  run = std::make_unique<gpu::KernelRun>(engine, std::move(p));
+  run->start();
+  co_await run->wait();
+  result_.pe_end[static_cast<std::size_t>(pe)] = engine.now();
 }
 
 sim::Co FusedEmbeddingAllToAll::pe_kernel_wg(PeId pe, int slot, int lw) {
@@ -132,7 +137,7 @@ sim::Co FusedEmbeddingAllToAll::pe_kernel_wg(PeId pe, int slot, int lw) {
   // ride the fabric instead (no local write).
   const bool local_write = !zero_copy;
 
-  const TimeNs t_begin = machine.engine().now();
+  const TimeNs t_begin = machine.engine_of(pe).now();
   co_await dev.compute(ops::embedding_wg_cost(
       cfg_.pooling, map.dim, local_write, ops::kFusedEmbeddingCurve));
 
@@ -185,9 +190,9 @@ sim::Co FusedEmbeddingAllToAll::pe_kernel_wg(PeId pe, int slot, int lw) {
                             std::move(deliver));
   }
 
-  if (cfg_.emit_trace && machine.trace().enabled()) {
-    machine.trace().add_span({"wg", "compute", pe, slot, t_begin,
-                              machine.engine().now()});
+  if (cfg_.emit_trace && machine.trace_of(pe).enabled()) {
+    machine.trace_of(pe).add_span({"wg", "compute", pe, slot, t_begin,
+                                   machine.engine_of(pe).now()});
   }
 
   // WG_Done bookkeeping; the last finishing WG of the slice emits it.
@@ -215,9 +220,9 @@ sim::Co FusedEmbeddingAllToAll::emit_slice_from_slot(PeId pe, int slot,
   if (dest == pe) {
     // Locally consumed slice: flag is a local store.
     slice_rdy_->set(pe, fidx, 1);
-    if (cfg_.emit_trace && machine.trace().enabled()) {
-      machine.trace().add_instant(
-          {"local_slice", "local", pe, slot, machine.engine().now()});
+    if (cfg_.emit_trace && machine.trace_of(pe).enabled()) {
+      machine.trace_of(pe).add_instant(
+          {"local_slice", "local", pe, slot, machine.engine_of(pe).now()});
     }
     co_return;
   }
@@ -259,9 +264,9 @@ sim::Co FusedEmbeddingAllToAll::emit_slice_from_slot(PeId pe, int slot,
     co_await world_.fence(pe);
     co_await slice_rdy_.signal(world_, pe, dest, fidx, kind);
   }
-  if (cfg_.emit_trace && machine.trace().enabled()) {
-    machine.trace().add_instant(
-        {"put", "comm", pe, slot, machine.engine().now()});
+  if (cfg_.emit_trace && machine.trace_of(pe).enabled()) {
+    machine.trace_of(pe).add_instant(
+        {"put", "comm", pe, slot, machine.engine_of(pe).now()});
   }
 }
 
@@ -342,21 +347,22 @@ sim::Co BaselineEmbeddingAllToAll::table_kernel(PeId pe, int table) {
                     static_cast<std::ptrdiff_t>(off));
     }
   };
-  gpu::KernelRun run(machine.engine(), std::move(p));
+  gpu::KernelRun run(machine.engine_of(pe), std::move(p));
   run.start();
   co_await run.wait();
 }
 
-sim::Co BaselineEmbeddingAllToAll::pe_compute(PeId pe,
-                                              sim::JoinCounter& done) {
+sim::Co BaselineEmbeddingAllToAll::pe_compute(PeId pe, TimeNs t0) {
+  // Spawned at t0 + kernel_launch_ns on the PE's home engine; anchoring the
+  // stream at t0 reproduces the serial launch_ready sequence exactly.
   auto& machine = world_.machine();
-  gpu::Stream stream(machine.engine(), machine.device(pe).spec());
+  gpu::Stream stream(machine.engine_of(pe), machine.device(pe).spec(),
+                     /*anchor=*/t0);
   for (int t = 0; t < cfg_.map.tables_per_pe; ++t) {
     stream.enqueue([this, pe, t] { return table_kernel(pe, t); });
   }
   co_await stream.sync();
-  compute_end_[static_cast<std::size_t>(pe)] = machine.engine().now();
-  done.arrive();
+  compute_end_[static_cast<std::size_t>(pe)] = machine.engine_of(pe).now();
 }
 
 sim::Co BaselineEmbeddingAllToAll::run() {
@@ -381,19 +387,15 @@ sim::Co BaselineEmbeddingAllToAll::run() {
                                     0.0f));
   }
 
-  // Compute phase: every PE drives its own stream of per-table kernels.
+  // Compute phase: every PE drives its own stream of per-table kernels on
+  // its home-shard engine. Bodies spawn at t0 + kernel_launch_ns (the first
+  // launch_ready) with the stream anchored at t0, so the issue timeline is
+  // byte-identical to the serial enqueue-at-t0 sequence.
   {
-    sim::JoinCounter compute_done(engine, pes);
-    struct PeDriver {
-      static sim::Task go(sim::Engine&, BaselineEmbeddingAllToAll& op,
-                          PeId pe, sim::JoinCounter& done) {
-        co_await op.pe_compute(pe, done);
-      }
-    };
-    for (PeId pe = 0; pe < pes; ++pe) {
-      PeDriver::go(engine, *this, pe, compute_done);
-    }
-    co_await compute_done.wait();
+    const TimeNs t0 = engine.now();
+    co_await run_per_pe_at(
+        t0 + spec.kernel_launch_ns, pes,
+        [this, t0](PeId pe) { return pe_compute(pe, t0); });
   }
 
   // Collective phase: RCCL-style All-to-All kernel (one launch), then sync.

@@ -90,6 +90,7 @@ class FusedEmbeddingAllToAll final : public FusedOp {
   static gpu::KernelResources fused_resources();
 
  private:
+  sim::Co pe_body(PeId pe);
   sim::Co pe_kernel_wg(PeId pe, int slot, int lw);
   sim::Co pe_epilogue(PeId pe, int slot);
   sim::Co emit_slice(PeId pe, int slice);
@@ -123,7 +124,7 @@ class BaselineEmbeddingAllToAll final : public FusedOp {
 
  private:
   sim::Co table_kernel(PeId pe, int table);
-  sim::Co pe_compute(PeId pe, sim::JoinCounter& done);
+  sim::Co pe_compute(PeId pe, TimeNs t0);
 
   EmbeddingA2AConfig cfg_;
   EmbeddingA2AData* data_;

@@ -63,7 +63,7 @@ sim::Co FusedGemmAllToAll::run() {
   auto& engine = machine.engine();
   const auto& spec = machine.device(0).spec();
 
-  arrivals_.reset(engine, num_pes_, static_cast<std::size_t>(num_pes_));
+  arrivals_.reset(world_, static_cast<std::size_t>(num_pes_));
 
   // --- the fused kernel, authored with the DSL's comm extensions ---
   kernel_ = std::make_unique<triton::TileKernel>("moe_combine_fused", shape_,
@@ -107,14 +107,14 @@ sim::Co FusedGemmAllToAll::run() {
 
   begin_run(num_pes_);
 
-  co_await sim::delay(engine, spec.kernel_launch_ns);
-  co_await run_per_pe(num_pes_, [this](PeId pe) { return pe_driver(pe); });
+  co_await run_per_pe_at(engine.now() + spec.kernel_launch_ns, num_pes_,
+                         [this](PeId pe) { return pe_driver(pe); });
   co_await sim::delay(engine, spec.stream_sync_ns);
   finish_run();
 }
 
 sim::Co FusedGemmAllToAll::pe_driver(PeId pe) {
-  auto& engine = world_.machine().engine();
+  auto& engine = world_.machine().engine_of(pe);
   // Expected tiles per source expert: my row block's tile count.
   const std::uint64_t expected =
       static_cast<std::uint64_t>(cfg_.rows_per_origin / cfg_.block_m) *
@@ -178,8 +178,10 @@ sim::Co BaselineGemmAllToAll::run() {
                                  0.0f));
   }
 
-  // Compute phase: plain tile-DSL GEMM per PE (load, dot, local store).
-  co_await run_per_pe(pes, [this](PeId pe) { return gemm_pe(pe); });
+  // Compute phase: plain tile-DSL GEMM per PE (load, dot, local store),
+  // spawned on each PE's home engine at the post-launch instant.
+  co_await run_per_pe_at(engine.now() + spec.kernel_launch_ns, pes,
+                         [this](PeId pe) { return gemm_pe(pe); });
   co_await sim::delay(engine, spec.stream_sync_ns);
 
   // Collective phase: chunk d of PE e's C (rows [d*R, (d+1)*R)) goes to
@@ -231,8 +233,6 @@ sim::Co BaselineGemmAllToAll::gemm_pe(PeId pe) {
     lc.a = data_->a[static_cast<std::size_t>(pe)];
     lc.b = data_->b[static_cast<std::size_t>(pe)];
   }
-  co_await sim::delay(engine(),
-                      world_.machine().device(pe).spec().kernel_launch_ns);
   co_await kernel.launch(lc);
 }
 

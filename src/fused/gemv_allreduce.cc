@@ -77,8 +77,8 @@ sim::Co FusedGemvAllReduce::run() {
 
   const std::size_t flags_per_pe = static_cast<std::size_t>(num_pes_) *
                                    static_cast<std::size_t>(active_slots_);
-  arrive_flags_.reset(engine, num_pes_, flags_per_pe);
-  bcast_flags_.reset(engine, num_pes_, flags_per_pe);
+  arrive_flags_.reset(world_, flags_per_pe);
+  bcast_flags_.reset(world_, flags_per_pe);
   if (cfg_.functional) {
     local_partial_.assign(static_cast<std::size_t>(num_pes_),
                           std::vector<float>(static_cast<std::size_t>(shape_.m),
@@ -91,24 +91,28 @@ sim::Co FusedGemvAllReduce::run() {
   }
   pe_done_.clear();
   for (int pe = 0; pe < num_pes_; ++pe) {
-    pe_done_.push_back(std::make_unique<sim::JoinCounter>(engine, active_slots_));
+    // Each PE's slot join lives on that PE's home-shard engine, so slot
+    // arrivals and the waiter's wakeup stay shard-local.
+    pe_done_.push_back(std::make_unique<sim::JoinCounter>(
+        machine.engine_of(pe), active_slots_));
   }
   begin_run(num_pes_);
 
-  co_await sim::delay(engine, spec.kernel_launch_ns);
-
-  for (PeId pe = 0; pe < num_pes_; ++pe) {
-    watch_join(engine, *pe_done_[static_cast<std::size_t>(pe)],
-               result_.pe_end[static_cast<std::size_t>(pe)]);
-    for (int s = 0; s < active_slots_; ++s) {
-      slot_proc(engine, pe, s);
-    }
-  }
-  for (PeId pe = 0; pe < num_pes_; ++pe) {
-    co_await pe_done_[static_cast<std::size_t>(pe)]->wait();
-  }
+  // Slot tasks spawn on each PE's home engine at the post-launch instant;
+  // the driver resumes at the exact max PE completion time.
+  co_await run_per_pe_at(engine.now() + spec.kernel_launch_ns, num_pes_,
+                         [this](PeId pe) { return pe_body(pe); });
   co_await sim::delay(engine, spec.stream_sync_ns);
   finish_run();
+}
+
+sim::Co FusedGemvAllReduce::pe_body(PeId pe) {
+  sim::Engine& engine = world_.machine().engine_of(pe);
+  for (int s = 0; s < active_slots_; ++s) {
+    slot_proc(engine, pe, s);
+  }
+  co_await pe_done_[static_cast<std::size_t>(pe)]->wait();
+  result_.pe_end[static_cast<std::size_t>(pe)] = engine.now();
 }
 
 sim::Task FusedGemvAllReduce::slot_proc(sim::Engine& /*engine*/, PeId pe,
@@ -143,7 +147,7 @@ sim::Co FusedGemvAllReduce::compute_tile(PeId pe, int slot, int tile) {
   const PeId owner = owner_of_tile(tile);
   const bool remote = owner != pe;
 
-  const TimeNs t0 = machine.engine().now();
+  const TimeNs t0 = machine.engine_of(pe).now();
   co_await dev.compute(ops::gemv_tile_cost(shape_.tile_rows, shape_.k,
                                            /*local_write=*/!remote,
                                            ops::kBaselineCurve));
@@ -182,8 +186,8 @@ sim::Co FusedGemvAllReduce::compute_tile(PeId pe, int slot, int tile) {
   co_await world_.put_nbi(pe, owner,
                           static_cast<Bytes>(r1 - r0) * 4,
                           shmem::World::IssueKind::kStore, std::move(deliver));
-  if (machine.trace().enabled()) {
-    machine.trace().add_instant({"put", "comm", pe, slot, t0});
+  if (machine.trace_of(pe).enabled()) {
+    machine.trace_of(pe).add_instant({"put", "comm", pe, slot, t0});
   }
 }
 
@@ -317,7 +321,7 @@ sim::Co BaselineGemvAllReduce::gemv_kernel(PeId pe) {
       }
     }
   };
-  gpu::KernelRun kernel(machine.engine(), std::move(p));
+  gpu::KernelRun kernel(machine.engine_of(pe), std::move(p));
   kernel.start();
   co_await kernel.wait();
 }
@@ -334,21 +338,11 @@ sim::Co BaselineGemvAllReduce::run() {
                     std::vector<float>(static_cast<std::size_t>(cfg_.m), 0.0f));
   }
 
-  // Compute phase: every PE runs its GEMV kernel concurrently.
-  {
-    sim::JoinCounter done(engine, pes);
-    struct PeDriver {
-      static sim::Task go(sim::Engine& e, BaselineGemvAllReduce& op, PeId pe,
-                          sim::JoinCounter& done) {
-        co_await sim::delay(e, op.world_.machine().device(pe).spec()
-                                   .kernel_launch_ns);
-        co_await op.gemv_kernel(pe);
-        done.arrive();
-      }
-    };
-    for (PeId pe = 0; pe < pes; ++pe) PeDriver::go(engine, *this, pe, done);
-    co_await done.wait();
-  }
+  // Compute phase: every PE runs its GEMV kernel concurrently on its
+  // home-shard engine, spawned at the post-launch instant (the per-PE
+  // launch delay hoisted into the spawn time).
+  co_await run_per_pe_at(engine.now() + spec.kernel_launch_ns, pes,
+                         [this](PeId pe) { return gemv_kernel(pe); });
   co_await sim::delay(engine, spec.stream_sync_ns);
 
   // Collective phase: RCCL-style AllReduce kernel.

@@ -92,6 +92,7 @@ class FusedGemvAllReduce final : public FusedOp {
   static gpu::KernelResources fused_resources();
 
  private:
+  sim::Co pe_body(PeId pe);
   sim::Task slot_proc(sim::Engine& engine, PeId pe, int slot);
   sim::Co compute_tile(PeId pe, int slot, int tile);
   sim::Co reduce_and_broadcast(PeId pe, int slot);

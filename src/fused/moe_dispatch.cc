@@ -266,7 +266,7 @@ sim::Co FusedMoeDispatch::run() {
   auto& engine = machine.engine();
   const auto& spec = machine.device(0).spec();
 
-  arrivals_.reset(engine, num_pes_, static_cast<std::size_t>(num_pes_));
+  arrivals_.reset(world_, static_cast<std::size_t>(num_pes_));
 
   // Per-source kernels: shapes differ (padded routed rows), so each source
   // authors its own instance of the dispatch kernel.
@@ -339,14 +339,14 @@ sim::Co FusedMoeDispatch::run() {
 
   begin_run(num_pes_);
 
-  co_await sim::delay(engine, spec.kernel_launch_ns);
-  co_await run_per_pe(num_pes_, [this](PeId pe) { return pe_driver(pe); });
+  co_await run_per_pe_at(engine.now() + spec.kernel_launch_ns, num_pes_,
+                         [this](PeId pe) { return pe_driver(pe); });
   co_await sim::delay(engine, spec.stream_sync_ns);
   finish_run();
 }
 
 sim::Co FusedMoeDispatch::pe_driver(PeId pe) {
-  auto& engine = world_.machine().engine();
+  auto& engine = world_.machine().engine_of(pe);
   const int tiles_n = (cfg_.d_out + cfg_.block_n - 1) / cfg_.block_n;
 
   triton::TileKernel::LaunchConfig lc;
@@ -426,10 +426,10 @@ sim::Co BaselineMoeDispatch::run() {
   }
 
   // Compute phase: plain tile-DSL GEMM per source over the unpadded routed
-  // rows (plan order — already destination-major for the collective).
-  co_await run_per_pe(num_pes_, [this, shape](PeId pe) {
-    return gemm_pe(pe, shape);
-  });
+  // rows (plan order — already destination-major for the collective), each
+  // on its PE's home engine at the post-launch instant.
+  co_await run_per_pe_at(engine.now() + spec.kernel_launch_ns, num_pes_,
+                         [this, shape](PeId pe) { return gemm_pe(pe, shape); });
   co_await sim::delay(engine, spec.stream_sync_ns);
 
   // Collective phase: the routed counts drive the uneven All-to-All; expert
@@ -483,8 +483,6 @@ sim::Co BaselineMoeDispatch::gemm_pe(PeId pe, ops::GemmShape shape) {
     lc.a = a_[static_cast<std::size_t>(pe)];
     lc.b = data_->w;
   }
-  co_await sim::delay(engine(),
-                      world_.machine().device(pe).spec().kernel_launch_ns);
   co_await kernel.launch(lc);
 }
 

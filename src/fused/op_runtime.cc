@@ -75,22 +75,52 @@ void FusedOp::finish_run_uniform() {
 
 namespace {
 
-sim::Task pe_task(sim::Engine&, std::function<sim::Co(PeId)> body, PeId pe,
-                  std::vector<std::uint8_t>& pe_done, sim::JoinCounter& done) {
+/// One per-PE body wrapper, spawned on the PE's home-shard engine: runs the
+/// body, marks the PE done, and arrives on the cross-shard join with its
+/// local completion time.
+sim::Task pe_task(sim::Engine& engine, std::function<sim::Co(PeId)> body,
+                  PeId pe, std::vector<std::uint8_t>& pe_done,
+                  sim::ShardJoin& join, int shard) {
   co_await body(pe);
   pe_done[static_cast<std::size_t>(pe)] = 1;
-  done.arrive();
+  join.arrive(shard, engine.now());
 }
 
 }  // namespace
 
-sim::Co FusedOp::run_per_pe(int num_pes, std::function<sim::Co(PeId)> body) {
+sim::Co FusedOp::run_per_pe_at(TimeNs t_start, int num_pes,
+                               std::function<sim::Co(PeId)> body) {
+  auto& machine = world_.machine();
+  FCC_CHECK_MSG(
+      !machine.is_sharded() ||
+          t_start >= engine().now() + machine.lookahead(),
+      name() << ": per-PE spawn at t=" << t_start
+             << " falls inside the current lookahead window (now "
+             << engine().now() << ", lookahead " << machine.lookahead()
+             << "); the GPU's kernel_launch_ns must cover the machine's "
+                "lookahead to run fused operators sharded "
+                "(Machine::supports_fused_ops)");
   pe_done_.assign(static_cast<std::size_t>(num_pes), 0);
-  sim::JoinCounter done(engine(), num_pes);
+  // Home shard 0: every driver coroutine runs on engine() (see spawn()).
+  join_ = std::make_unique<sim::ShardJoin>(machine.sharded(), /*home=*/0,
+                                           num_pes);
   for (PeId pe = 0; pe < num_pes; ++pe) {
-    pe_task(engine(), body, pe, pe_done_, done);
+    const int shard = machine.shard_of(pe);
+    sim::Engine& home = machine.engine_of(pe);
+    auto spawn = [this, &home, body, pe, shard] {
+      pe_task(home, body, pe, pe_done_, *join_, shard);
+    };
+    if (shard == 0) {
+      // The driver's own shard: scheduled directly, preserving the serial
+      // engine's (time, seq) order — bodies fire in PE order at t_start.
+      home.schedule_at(t_start, std::move(spawn));
+    } else {
+      // Cross-shard: through the mailbox; injected at the next barrier in
+      // post order, so same-shard bodies still fire in PE order.
+      machine.sharded().post(0, shard, t_start, std::move(spawn));
+    }
   }
-  co_await done.wait();
+  co_await join_->wait();
 }
 
 void FusedOp::register_debug_flags(std::string name, const FlagSet& flags) {
@@ -153,12 +183,13 @@ sim::OneShot& FusedOp::spawn() {
 }
 
 OperatorResult FusedOp::run_to_completion() {
-  auto& eng = engine();
+  auto& machine = world_.machine();
   sim::OneShot& done = spawn();
-  eng.run();
-  FCC_CHECK_MSG(done.is_set() && eng.live_tasks() == 0,
-                name() << " deadlocked: " << eng.live_tasks()
-                       << " tasks suspended" << deadlock_report());
+  machine.run_all();
+  const int live = machine.sharded().live_tasks();
+  FCC_CHECK_MSG(done.is_set() && live == 0,
+                name() << " deadlocked: " << live << " tasks suspended"
+                       << deadlock_report());
   return result_;
 }
 
@@ -192,18 +223,6 @@ std::vector<int> strided_tasks(int first, int total, int stride) {
   std::vector<int> v;
   for (int t = first; t < total; t += stride) v.push_back(t);
   return v;
-}
-
-sim::Task watch_completion(sim::Engine& engine, gpu::KernelRun& run,
-                           TimeNs& out) {
-  co_await run.wait();
-  out = engine.now();
-}
-
-sim::Task watch_join(sim::Engine& engine, sim::JoinCounter& join,
-                     TimeNs& out) {
-  co_await join.wait();
-  out = engine.now();
 }
 
 }  // namespace fcc::fused

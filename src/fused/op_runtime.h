@@ -16,7 +16,10 @@
 //                      signalling idioms (sliceRdy / per-slot peer flags).
 //   * ordered_tasks / strided_tasks — comm-aware vs oblivious task-loop
 //                      ordering over gpu::SchedulePolicy.
-//   * watch_completion / watch_join — per-PE completion-time recorders.
+//
+// Per-PE completion times are stamped inside run_per_pe_at bodies (each
+// body runs on its PE's home-shard engine), so the runtime works on serial
+// and sharded machines alike.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +38,7 @@
 #include "shmem/flags.h"
 #include "shmem/world.h"
 #include "sim/co.h"
+#include "sim/shard_join.h"
 #include "sim/sync.h"
 #include "sim/task.h"
 
@@ -179,12 +183,19 @@ class FusedOp {
   /// baselines: all PEs complete at the collective's sync).
   void finish_run_uniform();
 
-  /// Spawns `body(pe)` for every PE in [0, num_pes) as engine tasks and
-  /// suspends until all complete — the per-PE spawn/drain scaffold every
-  /// operator's compute phase repeats. Per-PE completion stamps (pe_end)
-  /// belong inside `body`. Tracks which PE tasks have finished, so a
-  /// deadlocked run can report exactly which PEs are stuck.
-  sim::Co run_per_pe(int num_pes, std::function<sim::Co(PeId)> body);
+  /// Spawns `body(pe)` on each PE's *home-shard* engine at absolute time
+  /// `t_start` and suspends until all bodies complete, resuming at the
+  /// exact max completion time — the per-PE spawn/join scaffold every
+  /// operator's compute phase repeats, byte-identical serial vs sharded.
+  /// All operators pass `engine().now() + kernel_launch_ns` (the physical
+  /// floor for any kernel body), which a sharded machine requires to be
+  /// >= its lookahead window (Machine::supports_fused_ops pre-checks the
+  /// spec; holds for every stock fabric). Per-PE completion stamps
+  /// (pe_end) belong inside `body` — it runs on engine_of(pe). Tracks
+  /// which PE tasks have finished, so a deadlocked run can report exactly
+  /// which PEs are stuck.
+  sim::Co run_per_pe_at(TimeNs t_start, int num_pes,
+                        std::function<sim::Co(PeId)> body);
 
   /// Registers a FlagSet for deadlock diagnostics: when run_to_completion
   /// detects a hang, the report lists this set's unsatisfied wait_ge's by
@@ -205,7 +216,10 @@ class FusedOp {
   /// Completion event of the in-flight (or last) spawn(); see spawn().
   std::unique_ptr<sim::OneShot> completion_;
   std::vector<std::pair<std::string, const FlagSet*>> debug_flags_;
-  std::vector<std::uint8_t> pe_done_;  // last run_per_pe's completion bits
+  std::vector<std::uint8_t> pe_done_;  // last run_per_pe_at completion bits
+  /// Cross-shard rendezvous of the in-flight run_per_pe_at (one-shot,
+  /// rebuilt per call; degenerates to the serial join on 1-shard machines).
+  std::unique_ptr<sim::ShardJoin> join_;
 };
 
 /// Every PE of the machine, in id order (ccl communicator construction).
@@ -224,12 +238,5 @@ std::vector<int> ordered_tasks(std::vector<int> tasks,
 
 /// Tasks statically assigned to one slot: first, first+stride, ... < total.
 std::vector<int> strided_tasks(int first, int total, int stride);
-
-/// Records the engine time at which `run` completes into `out`.
-sim::Task watch_completion(sim::Engine& engine, gpu::KernelRun& run,
-                           TimeNs& out);
-
-/// Records the engine time at which `join` completes into `out`.
-sim::Task watch_join(sim::Engine& engine, sim::JoinCounter& join, TimeNs& out);
 
 }  // namespace fcc::fused

@@ -1,7 +1,10 @@
 #include "gpu/machine.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <tuple>
+#include <utility>
 
 namespace fcc::gpu {
 
@@ -55,9 +58,10 @@ std::vector<int> default_node_shard(const Machine::Config& config) {
 }  // namespace
 
 Machine::Machine(const Config& config)
-    : config_(config),
-      sharded_(config.num_shards),
-      trace_(config.collect_trace) {
+    : config_(config), sharded_(config.num_shards) {
+  for (int s = 0; s < sharded_.num_shards(); ++s) {
+    traces_.push_back(std::make_unique<sim::Trace>(config.collect_trace));
+  }
   FCC_CHECK_MSG(config.num_nodes >= 1,
                 "Machine::Config: num_nodes must be >= 1, got "
                     << config.num_nodes);
@@ -77,9 +81,6 @@ Machine::Machine(const Config& config)
                     << config.num_shards << ") exceeds num_nodes ("
                     << config.num_nodes
                     << "); a node may not split across shards");
-  FCC_CHECK_MSG(!(config.collect_trace && config.num_shards > 1),
-                "Machine::Config: collect_trace requires the serial engine "
-                "(num_shards == 1); the trace buffer is shared");
   const int pes = config.num_nodes * config.gpus_per_node;
 
   // PE→shard partition: explicit map (validated) or the default one.
@@ -145,15 +146,57 @@ Machine::Machine(const Config& config)
   }
 }
 
+sim::Trace Machine::merged_trace() const {
+  sim::Trace merged(true);
+  std::vector<sim::TraceSpan> spans;
+  std::vector<sim::TraceInstant> instants;
+  for (const auto& t : traces_) {
+    spans.insert(spans.end(), t->spans().begin(), t->spans().end());
+    instants.insert(instants.end(), t->instants().begin(),
+                    t->instants().end());
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const sim::TraceSpan& a, const sim::TraceSpan& b) {
+              return std::tie(a.start, a.end, a.pid, a.tid, a.name) <
+                     std::tie(b.start, b.end, b.pid, b.tid, b.name);
+            });
+  std::sort(instants.begin(), instants.end(),
+            [](const sim::TraceInstant& a, const sim::TraceInstant& b) {
+              return std::tie(a.at, a.pid, a.tid, a.name) <
+                     std::tie(b.at, b.pid, b.tid, b.name);
+            });
+  for (auto& s : spans) merged.add_span(std::move(s));
+  for (auto& i : instants) merged.add_instant(std::move(i));
+  return merged;
+}
+
+void Machine::call_at_barrier(std::function<void()> fn) {
+  FCC_CHECK_MSG(is_sharded(),
+                "call_at_barrier is only meaningful on sharded machines");
+  if (barrier_hook_ < 0) {
+    // Registered lazily — on first use, i.e. after every World hook — so
+    // deferred-fabric put replay always precedes collective sweeps at a
+    // barrier, matching their relative issue order within a window.
+    barrier_hook_ = sharded_.add_barrier_hook([this] {
+      std::vector<std::function<void()>> q;
+      q.swap(barrier_calls_);
+      for (auto& call : q) call();
+    });
+  }
+  barrier_calls_.push_back(std::move(fn));
+}
+
 sim::ShardedEngine::RunStats Machine::run_all(unsigned num_threads) {
   if (!is_sharded()) {
     sim::ShardedEngine::RunStats stats;
     stats.events = engine().run();
     stats.windows = 1;
     stats.threads = 1;
+    last_run_stats_ = stats;
     return stats;
   }
-  return sharded_.run(lookahead_, num_threads);
+  last_run_stats_ = sharded_.run(lookahead_, num_threads);
+  return last_run_stats_;
 }
 
 TimeNs Machine::remote_write_time(PeId src, PeId dst, Bytes bytes,

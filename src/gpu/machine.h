@@ -8,6 +8,7 @@
 // 2D torus) is a Config change, not a Machine fork.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -53,7 +54,21 @@ class Machine {
   /// The serial engine (shard 0). For num_shards == 1 machines this is the
   /// whole simulator, exactly as before sharding existed.
   sim::Engine& engine() { return sharded_.shard(0); }
-  sim::Trace& trace() { return trace_; }
+
+  /// Shard 0's trace buffer — the whole trace on serial machines. Writers
+  /// emitting from a PE's home shard must use trace_of(pe); readers of a
+  /// sharded run want merged_trace().
+  sim::Trace& trace() { return *traces_.front(); }
+  /// The trace buffer owned by `pe`'s home shard: written only by that
+  /// shard's thread, so per-PE kernel bodies may record without locks.
+  sim::Trace& trace_of(PeId pe) {
+    return *traces_[static_cast<std::size_t>(shard_of(pe))];
+  }
+  /// Deterministic merged view of every shard's buffer, spans sorted by
+  /// (start, end, pid, tid, name) and instants by (at, pid, tid, name) —
+  /// a canonical order independent of shard count (serial recording order
+  /// is a different, equally valid order; compare merged to merged).
+  sim::Trace merged_trace() const;
   const Config& config() const { return config_; }
 
   // --- sharding ----------------------------------------------------------
@@ -74,10 +89,34 @@ class Machine {
   /// barriers instead of reserving eagerly at issue time.
   bool defer_inter_node() const { return defer_inter_node_; }
 
+  /// Whether the fused-operator stack (FusedOp / Graph / serve) can run on
+  /// this machine. Sharded machines spawn per-PE kernel bodies cross-shard
+  /// at t0 + kernel_launch_ns, which must land beyond the conservative
+  /// window — so the GPU's kernel-launch latency must cover the lookahead.
+  /// Always true serial; true for every stock spec/fabric combination.
+  bool supports_fused_ops() const {
+    return !is_sharded() || config_.gpu.kernel_launch_ns >= lookahead_;
+  }
+
+  /// Enqueues a one-shot host callback run serially at the next window
+  /// barrier, with every shard stopped (so it may touch any shard's state,
+  /// including rewind-scheduling with Engine::schedule_at_unchecked).
+  /// Callbacks run in enqueue order — shard 0's program order, since only
+  /// the driver shard's thread enqueues. ccl::Communicator routes its
+  /// link-horizon reservation sweeps through this on sharded machines.
+  void call_at_barrier(std::function<void()> fn);
+
   /// Runs the simulation to completion: the windowed parallel protocol when
   /// sharded, a plain serial `engine().run()` otherwise (reported as one
   /// window). `num_threads` is only meaningful when sharded.
   sim::ShardedEngine::RunStats run_all(unsigned num_threads = 0);
+
+  /// Stats of the most recent run_all(). Layers that drive the machine but
+  /// swallow the return value (serve::Simulator, GraphExecutor) leave the
+  /// breakdown readable here for scaling benches.
+  const sim::ShardedEngine::RunStats& last_run_stats() const {
+    return last_run_stats_;
+  }
 
   int num_pes() const { return static_cast<int>(devices_.size()); }
   int num_nodes() const { return config_.num_nodes; }
@@ -129,12 +168,18 @@ class Machine {
  private:
   Config config_;
   sim::ShardedEngine sharded_;
-  sim::Trace trace_;
+  /// One buffer per shard; index 0 is the serial/whole-machine trace.
+  std::vector<std::unique_ptr<sim::Trace>> traces_;
   std::vector<int> pe_shard_;
   std::vector<std::unique_ptr<Device>> devices_;
   std::unique_ptr<hw::Topology> topology_;
   TimeNs lookahead_ = 0;
   bool defer_inter_node_ = false;
+  /// One-shot barrier callbacks (call_at_barrier); appended by the driver
+  /// shard's thread during a window, drained serially at the barrier.
+  std::vector<std::function<void()>> barrier_calls_;
+  int barrier_hook_ = -1;
+  sim::ShardedEngine::RunStats last_run_stats_;
 };
 
 }  // namespace fcc::gpu

@@ -23,8 +23,13 @@ class Stream {
  public:
   using Work = std::function<sim::Co()>;
 
-  Stream(sim::Engine& engine, const hw::GpuSpec& spec)
-      : engine_(engine), spec_(spec) {}
+  /// `anchor` < 0 (default) issues launches from the enqueue-time clock.
+  /// An explicit anchor pins the issue timeline to that absolute time
+  /// instead — the sharded fused runtime spawns baseline per-PE bodies on
+  /// their home engines at t0 + kernel_launch_ns and anchors the stream at
+  /// t0, reproducing the serial launch_ready sequence byte-identically.
+  Stream(sim::Engine& engine, const hw::GpuSpec& spec, TimeNs anchor = -1)
+      : engine_(engine), spec_(spec), anchor_(anchor) {}
 
   /// Enqueues a kernel: runs after everything previously enqueued. The
   /// host issues launches asynchronously, so the launch latency of item i
@@ -34,8 +39,9 @@ class Stream {
   std::shared_ptr<sim::OneShot> enqueue(Work work) {
     auto prev = last_;
     auto done = std::make_shared<sim::OneShot>(engine_);
-    const TimeNs launch_ready = engine_.now() + spec_.kernel_launch_ns +
-                                enqueued_ * kHostIssueGapNs;
+    const TimeNs base = anchor_ >= 0 ? anchor_ : engine_.now();
+    const TimeNs launch_ready =
+        base + spec_.kernel_launch_ns + enqueued_ * kHostIssueGapNs;
     ++enqueued_;
     item_proc(engine_, std::move(prev), done, std::move(work), launch_ready);
     last_ = done;
@@ -64,6 +70,7 @@ class Stream {
 
   sim::Engine& engine_;
   hw::GpuSpec spec_;
+  TimeNs anchor_;
   std::shared_ptr<sim::OneShot> last_;
   int enqueued_ = 0;
 };

@@ -20,9 +20,15 @@ Simulator::Simulator(gpu::Machine& machine, shmem::World& world,
       world_(world),
       catalog_(std::move(catalog)),
       cfg_(cfg) {
-  FCC_CHECK_MSG(!machine_.is_sharded(),
-                "serve::Simulator needs a serial machine (num_shards == 1): "
-                "FusedOps are not shard-local yet");
+  FCC_CHECK_MSG(
+      machine_.supports_fused_ops(),
+      "serve::Simulator on a sharded machine needs kernel_launch_ns ("
+          << machine_.config().gpu.kernel_launch_ns
+          << ") >= the fabric's conservative lookahead ("
+          << machine_.lookahead()
+          << "): fused per-PE bodies spawn cross-shard at t + "
+             "kernel_launch_ns. Raise gpu.kernel_launch_ns, pick a fabric "
+             "with a smaller min inter-shard latency, or set num_shards=1");
   FCC_CHECK_MSG(&world_.machine() == &machine_,
                 "world must be built over the simulator's machine");
   FCC_CHECK(!catalog_.empty());
@@ -110,7 +116,7 @@ void Simulator::plan_chains() {
 
 ServeReport Simulator::run(const std::vector<Arrival>& trace) {
   sim::Engine& engine = machine_.engine();
-  FCC_CHECK_MSG(engine.live_tasks() == 0,
+  FCC_CHECK_MSG(machine_.sharded().live_tasks() == 0,
                 "serve run started with live engine tasks");
   for (std::size_t i = 0; i < trace.size(); ++i) {
     FCC_CHECK(trace[i].cls >= 0 &&
@@ -132,10 +138,10 @@ ServeReport Simulator::run(const std::vector<Arrival>& trace) {
 
   arrival_proc(engine, trace);
   for (int lane = 0; lane < cfg_.lanes; ++lane) lane_proc(engine, lane);
-  engine.run();
+  machine_.run_all();
 
-  FCC_CHECK_MSG(engine.live_tasks() == 0,
-                "serving run deadlocked: " << engine.live_tasks()
+  FCC_CHECK_MSG(machine_.sharded().live_tasks() == 0,
+                "serving run deadlocked: " << machine_.sharded().live_tasks()
                                            << " task(s) still suspended");
   FCC_CHECK(batcher_->empty());
 

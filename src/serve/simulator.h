@@ -150,8 +150,10 @@ struct ServeReport {
 
 class Simulator {
  public:
-  /// `world` must be built over `machine`; the machine must be serial
-  /// (num_shards == 1 — FusedOps are not shard-local yet, see ROADMAP).
+  /// `world` must be built over `machine`. Serial and sharded machines both
+  /// work; a sharded machine must satisfy Machine::supports_fused_ops()
+  /// (gpu.kernel_launch_ns >= the fabric's conservative lookahead — true
+  /// for every stock fabric), checked here with an actionable message.
   /// Operator instances for every (lane, class, chain stage) are built here,
   /// once, through the global OpRegistry.
   Simulator(gpu::Machine& machine, shmem::World& world,

@@ -28,8 +28,9 @@ namespace fcc::shmem {
 
 class FlagArray {
  public:
-  /// Single-engine form: every PE's wakeups go through `engine` (the whole
-  /// pre-sharding world, and any num_shards == 1 machine).
+  /// Single-engine form: every PE's wakeups go through `engine` — a
+  /// convenience for serial machines, equivalent to the per-PE form with
+  /// every entry pointing at the one engine.
   FlagArray(sim::Engine& engine, int num_pes, std::size_t n)
       : engines_(static_cast<std::size_t>(num_pes), &engine),
         num_pes_(num_pes),
@@ -216,8 +217,9 @@ class FlagArray {
 /// WG-completion bitmask for one slice (WG_Done analog). The last WG to set
 /// its bit learns it is last — the paper implements the reduction with
 /// cross-lane operations instead of an inter-WG barrier; here the claim
-/// check is exact and race-free because the engine is serial. Multi-word so
-/// slices may span more than 64 logical WGs.
+/// check is exact and race-free because a mask belongs to one PE and is
+/// only touched from that PE's home-shard engine (serial within a shard).
+/// Multi-word so slices may span more than 64 logical WGs.
 class WgDoneMask {
  public:
   explicit WgDoneMask(int num_wgs) : expected_(num_wgs) {

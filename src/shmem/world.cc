@@ -67,6 +67,7 @@ void World::issue_put(PeId src, PeId dst, Bytes bytes,
 void World::drain_deferred() {
   struct Tag {
     TimeNs t;
+    PeId src;
     int shard;
     std::size_t idx;
   };
@@ -78,16 +79,16 @@ void World::drain_deferred() {
   for (int s = 0; s < static_cast<int>(deferred_.size()); ++s) {
     const auto& puts = deferred_[static_cast<std::size_t>(s)].puts;
     for (std::size_t i = 0; i < puts.size(); ++i) {
-      order.push_back(Tag{puts[i].t, s, i});
+      order.push_back(Tag{puts[i].t, puts[i].src, s, i});
     }
   }
-  // (issue time, src shard, per-shard seq): reservations replay in the
-  // serial engine's time order; same-time cross-shard ties break by shard
-  // id (the serial engine breaks them by global insertion seq instead —
-  // the only divergence this protocol permits).
+  // (issue time, src PE, per-shard seq): reservations replay in the
+  // serial engine's time order; same-time ties break by source PE (the
+  // serial engine breaks them by global insertion seq instead — the only
+  // divergence this protocol permits).
   std::sort(order.begin(), order.end(), [](const Tag& a, const Tag& b) {
     if (a.t != b.t) return a.t < b.t;
-    if (a.shard != b.shard) return a.shard < b.shard;
+    if (a.src != b.src) return a.src < b.src;
     return a.idx < b.idx;
   });
   // The hook runs with every shard stopped, so deliveries go straight onto

@@ -25,10 +25,16 @@
 //     as a mailbox message applied on the destination's shard.
 //   * deferred (torus): routes ride ring links owned by third-party nodes,
 //     so reservations are queued per shard and replayed at every window
-//     barrier in (issue time, src shard, seq) order — a single serial
+//     barrier in (issue time, src PE, per-PE seq) order — a single serial
 //     consistency point that matches the serial engine's time-ordered
-//     reservation sequence (exactly, up to same-timestamp cross-shard
-//     ties).
+//     reservation sequence. With one PE per node and one operator in
+//     flight this reproduces the serial engine's same-timestamp issue
+//     order exactly (per-PE chains are spawned and advance in PE order);
+//     nodes with several GPUs — or several concurrently-running operators,
+//     e.g. serving lanes — can interleave same-timestamp issues across PEs
+//     in an emergent event order no per-shard replay can reconstruct, so
+//     byte-identity on deferred fabrics is only guaranteed for single-GPU
+//     nodes running one operator at a time.
 #pragma once
 
 #include <coroutine>
@@ -160,7 +166,7 @@ class World {
   void issue_put(PeId src, PeId dst, Bytes bytes, std::function<void()> cb);
 
   /// Barrier hook (deferred mode): replays all queued reservations in
-  /// (issue time, src shard, seq) order and posts their deliveries.
+  /// (issue time, src PE, per-PE seq) order and posts their deliveries.
   void drain_deferred();
 
   /// Schedules the serial-shape delivery event ({callback; finish}) on `e`.

@@ -75,6 +75,20 @@ class Engine {
   void schedule_at(TimeNs t, F&& fn) {
     FCC_CHECK_MSG(t >= now_, "cannot schedule into the past: " << t << " < "
                                                                << now_);
+    schedule_at_unchecked(t, std::forward<F>(fn));
+  }
+
+  /// Rewind scheduling: schedule_at without the no-past check. Only the
+  /// sharded barrier machinery uses this — `run_until` advances `now_` to
+  /// the window deadline even on an idle shard, so a cross-shard join or
+  /// collective that resolves to an exact completion time inside the window
+  /// must be injected "into the past" of the frontier. Firing such an entry
+  /// rewinds `now_` to its time; the continuation may only touch its own
+  /// shard's state and must delay by >= the lookahead before its next
+  /// cross-shard effect (every fused-op driver tail does: stream_sync /
+  /// kernel_launch delays dominate any fabric latency floor).
+  template <typename F>
+  void schedule_at_unchecked(TimeNs t, F&& fn) {
     // The node is fully constructed before its entry is queued, so a
     // throwing callable constructor (or allocation failure) leaves nothing
     // behind that fire() or ~Engine() could touch.
@@ -113,7 +127,7 @@ class Engine {
       throw;
     }
     try {
-      push_entry(t, static_cast<std::uintptr_t>(idx) << 1);
+      push_entry_unchecked(t, static_cast<std::uintptr_t>(idx) << 1);
     } catch (...) {
       n.dispose(n.buf);
       free_.push_back(idx);
@@ -132,6 +146,11 @@ class Engine {
   /// handle itself is the event payload — nothing is allocated or pooled.
   void schedule_resume_at(TimeNs t, std::coroutine_handle<> h) {
     push_entry(t, reinterpret_cast<std::uintptr_t>(h.address()) | 1u);
+  }
+
+  /// Rewind variant of schedule_resume_at; see schedule_at_unchecked.
+  void schedule_resume_at_unchecked(TimeNs t, std::coroutine_handle<> h) {
+    push_entry_unchecked(t, reinterpret_cast<std::uintptr_t>(h.address()) | 1u);
   }
 
   void schedule_resume_after(TimeNs dt, std::coroutine_handle<> h) {
@@ -249,6 +268,10 @@ class Engine {
   void push_entry(TimeNs t, std::uintptr_t payload) {
     FCC_CHECK_MSG(t >= now_, "cannot schedule into the past: " << t << " < "
                                                                << now_);
+    push_entry_unchecked(t, payload);
+  }
+
+  void push_entry_unchecked(TimeNs t, std::uintptr_t payload) {
     const HeapEntry e{t, next_seq_++, payload};
     // Invariant: staging_ is only non-empty while sorted_run_ and heap_ are
     // both empty (no pop can intervene without flushing first), so staged
@@ -360,7 +383,9 @@ class Engine {
       top = sorted_run_.back();
       sorted_run_.pop_back();
     }
-    FCC_DCHECK(top.t >= now_);
+    // A rewind entry (schedule_at_unchecked) legitimately moves now_
+    // backwards from the window deadline run_until parked it at; run_until
+    // restores the frontier after the loop.
     now_ = top.t;
     fire(top);
   }

@@ -1,0 +1,111 @@
+// Cross-shard join with exact completion time.
+//
+// The fused-operator runtime's core rendezvous is "driver suspends until
+// every per-PE body is done, then resumes at the instant the last one
+// finished". On a serial engine a JoinCounter does this for free: the last
+// arrive() fires at the global max completion time, so the OneShot resume
+// lands exactly there. On a sharded machine the bodies finish on different
+// shards whose clocks are only window-synchronized, and the driver's shard
+// has already been parked at the window deadline by run_until — the resume
+// must be scheduled at max(arrival times) *behind* the home frontier.
+//
+// ShardJoin solves both halves:
+//
+//   * Per-shard arrival slots (cache-line padded, single-writer: only the
+//     shard's owning thread touches its slot) record the max local arrival
+//     time; one atomic countdown orders the slot writes before the
+//     finisher's read (acq_rel RMW chain).
+//   * The expected count is num_arrivals + 1 — the driver's await itself
+//     "arrives" right after publishing its handle, so the counter cannot
+//     hit zero before the handle exists, even if every body completes in
+//     the same window the driver suspended in.
+//   * The finisher computes t_max over the slots and schedules the resume
+//     on the home shard: directly when it *is* the home shard (legal —
+//     t_max >= its own now), else through ShardedEngine::post_rewind, which
+//     bypasses the destination engine's no-past check at barrier injection.
+//
+// On a serial machine every arrival is home-shard and the code path reduces
+// to "last arrive schedules the resume at now" — the exact event the
+// JoinCounter + OneShot pair used to emit, so serial timing is unchanged.
+//
+// One-shot: construct a fresh ShardJoin per run (the fused runtime does).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <coroutine>
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "sim/engine.h"
+#include "sim/sharded_engine.h"
+
+namespace fcc::sim {
+
+class ShardJoin {
+ public:
+  ShardJoin(ShardedEngine& se, int home_shard, int num_arrivals)
+      : se_(se),
+        home_shard_(home_shard),
+        slots_(static_cast<std::size_t>(se.num_shards())),
+        remaining_(num_arrivals + 1) {
+    FCC_CHECK(num_arrivals >= 1);
+    FCC_CHECK(home_shard >= 0 && home_shard < se.num_shards());
+  }
+  ShardJoin(const ShardJoin&) = delete;
+  ShardJoin& operator=(const ShardJoin&) = delete;
+
+  /// One arrival from `shard` at that shard's local time `t`. Must be
+  /// called from the shard's owning thread (body coroutines qualify).
+  void arrive(int shard, TimeNs t) {
+    Slot& s = slots_[static_cast<std::size_t>(shard)];
+    if (t > s.t) s.t = t;
+    finish_if_last(shard);
+  }
+
+  /// Awaited exactly once, by the driver, on the home shard. Resumes at
+  /// max(arrival times) — possibly rewinding the home frontier.
+  auto wait() {
+    struct Awaiter {
+      ShardJoin& j;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        j.h_ = h;
+        // The +1 arrival: publishes the handle before the counter can
+        // reach zero. No slot write — the resume time is the bodies' max.
+        j.finish_if_last(j.home_shard_);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  struct alignas(64) Slot {
+    TimeNs t = -1;
+  };
+
+  void finish_if_last(int shard) {
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+    TimeNs t_max = -1;
+    for (const Slot& s : slots_) t_max = std::max(t_max, s.t);
+    FCC_CHECK_MSG(t_max >= 0 && h_ != nullptr,
+                  "ShardJoin finished with no recorded arrivals");
+    if (shard == home_shard_) {
+      se_.shard(home_shard_).schedule_resume_at(t_max, h_);
+    } else {
+      se_.post_rewind(shard, home_shard_, t_max,
+                      [h = h_] { h.resume(); });
+    }
+  }
+
+  ShardedEngine& se_;
+  int home_shard_;
+  std::vector<Slot> slots_;
+  std::atomic<int> remaining_;
+  std::coroutine_handle<> h_ = nullptr;
+};
+
+}  // namespace fcc::sim

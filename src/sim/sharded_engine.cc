@@ -25,7 +25,16 @@ void ShardedEngine::post(int src_shard, int dst_shard, TimeNs t,
   FCC_DCHECK(dst_shard >= 0 && dst_shard < num_shards());
   Outbox& ob = outboxes_[static_cast<std::size_t>(src_shard)];
   ob.msgs.push_back(Message{t, src_shard, dst_shard, ob.next_seq++,
-                            std::move(fn)});
+                            /*rewind=*/false, std::move(fn)});
+}
+
+void ShardedEngine::post_rewind(int src_shard, int dst_shard, TimeNs t,
+                                std::function<void()> fn) {
+  FCC_DCHECK(src_shard >= 0 && src_shard < num_shards());
+  FCC_DCHECK(dst_shard >= 0 && dst_shard < num_shards());
+  Outbox& ob = outboxes_[static_cast<std::size_t>(src_shard)];
+  ob.msgs.push_back(Message{t, src_shard, dst_shard, ob.next_seq++,
+                            /*rewind=*/true, std::move(fn)});
 }
 
 int ShardedEngine::add_barrier_hook(std::function<void()> fn) {
@@ -55,8 +64,16 @@ std::size_t ShardedEngine::drain_barrier() {
               return a.seq < b.seq;
             });
   for (Message& m : merge_scratch_) {
-    shards_[static_cast<std::size_t>(m.dst_shard)]->schedule_at(
-        m.t, std::move(m.fn));
+    Engine& dst = *shards_[static_cast<std::size_t>(m.dst_shard)];
+    if (m.rewind) {
+      // Rewind messages target an exact time that may sit behind the
+      // destination's window frontier (run_until parks now_ at the
+      // deadline); the frontier itself never ran past the message's time,
+      // because the sender's pending state bounded Tmin.
+      dst.schedule_at_unchecked(m.t, std::move(m.fn));
+    } else {
+      dst.schedule_at(m.t, std::move(m.fn));
+    }
   }
   const std::size_t injected = merge_scratch_.size();
   merge_scratch_.clear();

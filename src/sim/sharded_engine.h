@@ -81,6 +81,17 @@ class ShardedEngine {
   /// routed through a cross-shard latency.
   void post(int src_shard, int dst_shard, TimeNs t, std::function<void()> fn);
 
+  /// Rewind mailbox: like post(), but injected with the destination
+  /// engine's no-past check bypassed (Engine::schedule_at_unchecked). Used
+  /// for effects that resolve to an *exact* time inside the already-passed
+  /// window — a cross-shard join completing at the max of its members'
+  /// local times — rather than to `issue + latency`. The destination fires
+  /// the entry with now_ rewound to `t`; the callback's continuation must
+  /// stay shard-local until it has delayed past the lookahead again (see
+  /// Engine::schedule_at_unchecked).
+  void post_rewind(int src_shard, int dst_shard, TimeNs t,
+                   std::function<void()> fn);
+
   /// Registers a hook run serially at every window barrier (all shards
   /// stopped), before mailbox injection, in registration order. Hooks may
   /// post(). Returns a handle for remove_barrier_hook.
@@ -110,6 +121,7 @@ class ShardedEngine {
     std::int32_t src_shard;
     std::int32_t dst_shard;
     std::uint64_t seq;  // per-src-shard, assigned at post()
+    bool rewind;        // inject via schedule_at_unchecked (post_rewind)
     std::function<void()> fn;
   };
 

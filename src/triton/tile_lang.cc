@@ -123,7 +123,10 @@ sim::Co TileKernel::launch(const LaunchConfig& cfg) {
     };
   }
 
-  gpu::KernelRun run(machine.engine(), std::move(p));
+  // The run lives on the launching PE's home-shard engine: launch() is
+  // awaited from a per-PE body already running there, so every slot task
+  // and the join stay shard-local.
+  gpu::KernelRun run(machine.engine_of(cfg.pe), std::move(p));
   run.start();
   co_await run.wait();
 }

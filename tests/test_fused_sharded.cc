@@ -1,0 +1,301 @@
+// Shard-local fused runtime goldens: the full operator / graph / serving
+// stack on the sharded engine must be *byte-identical* to the serial
+// engine.
+//
+// Four layers:
+//
+//   1. Operator goldens — every registered operator (all four built-ins),
+//      both backends, run via its smoke spec on a fully-connected fabric
+//      and a 2x2 torus at shard counts {1, 2, 4}; the whole
+//      OperatorResult (start, end, per-PE completions) must match the
+//      serial run exactly, as must the merged execution trace.
+//   2. fw::Graph — a diamond of real registered ops executed on a sharded
+//      Session reproduces the serial node results and makespan.
+//   3. serve::Simulator — a warm sharded simulator replays a trace with
+//      records identical to the serial machine's, twice (warm re-run
+//      stability under sharding).
+//   4. Capability check — a sharded machine whose kernel-launch latency is
+//      below the fabric's conservative lookahead cannot host fused ops and
+//      must say so actionably at simulator construction.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "framework/graph.h"
+#include "framework/op_registry.h"
+#include "framework/session.h"
+#include "fused/embedding_a2a.h"
+#include "fused/result.h"
+#include "gpu/machine.h"
+#include "serve/arrivals.h"
+#include "serve/catalog.h"
+#include "serve/simulator.h"
+#include "shmem/world.h"
+
+namespace fcc {
+namespace {
+
+// Four single-GPU nodes: every smoke spec targets 4 PEs, and node-aligned
+// sharding can then split them 1/2/4 ways.
+gpu::Machine::Config fc_config(int shards) {
+  gpu::Machine::Config cfg;
+  cfg.num_nodes = 4;
+  cfg.gpus_per_node = 1;
+  cfg.num_shards = shards;
+  return cfg;
+}
+
+gpu::Machine::Config torus_config(int shards) {
+  gpu::Machine::Config cfg;
+  cfg.num_nodes = 4;
+  cfg.gpus_per_node = 1;
+  cfg.topology.kind = hw::TopologySpec::Kind::kTorus2D;
+  cfg.topology.torus.dim_x = 2;
+  cfg.topology.torus.dim_y = 2;
+  cfg.num_shards = shards;
+  return cfg;
+}
+
+/// Ops with smoke specs — the whole registered catalog (>= the four
+/// built-ins), runnable timing-only on any 4-PE machine.
+std::vector<std::string> smoke_ops() {
+  const fw::OpRegistry& reg = fw::OpRegistry::global();
+  std::vector<std::string> ops;
+  for (const std::string& name : reg.names()) {
+    if (reg.at(name).smoke_spec != nullptr) ops.push_back(name);
+  }
+  return ops;
+}
+
+fused::OperatorResult run_op(const gpu::Machine::Config& mc,
+                             const std::string& op, fw::Backend backend) {
+  gpu::Machine machine(mc);
+  shmem::World world(machine);
+  const fw::OpEntry& entry = fw::OpRegistry::global().at(op);
+  auto instance = entry.make(world, entry.smoke_spec(), backend);
+  const auto res = instance->run_to_completion();
+  EXPECT_EQ(machine.sharded().live_tasks(), 0) << op;
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// 1. Operator goldens: serial == sharded for every op, backend, fabric
+// ---------------------------------------------------------------------------
+
+TEST(FusedSharded, EveryOperatorMatchesSerialOnFullyConnected) {
+  for (const std::string& op : smoke_ops()) {
+    for (const fw::Backend backend :
+         {fw::Backend::kFused, fw::Backend::kBaseline}) {
+      SCOPED_TRACE(op + (backend == fw::Backend::kFused ? "/fused"
+                                                        : "/baseline"));
+      const auto serial = run_op(fc_config(1), op, backend);
+      EXPECT_GT(serial.duration(), 0);
+      for (const int shards : {2, 4}) {
+        const auto sharded = run_op(fc_config(shards), op, backend);
+        EXPECT_EQ(serial, sharded) << "shards=" << shards;
+      }
+    }
+  }
+}
+
+TEST(FusedSharded, EveryOperatorMatchesSerialOnTorus) {
+  for (const std::string& op : smoke_ops()) {
+    for (const fw::Backend backend :
+         {fw::Backend::kFused, fw::Backend::kBaseline}) {
+      SCOPED_TRACE(op + (backend == fw::Backend::kFused ? "/fused"
+                                                        : "/baseline"));
+      const auto serial = run_op(torus_config(1), op, backend);
+      EXPECT_GT(serial.duration(), 0);
+      for (const int shards : {2, 4}) {
+        const auto sharded = run_op(torus_config(shards), op, backend);
+        EXPECT_EQ(serial, sharded) << "shards=" << shards;
+      }
+    }
+  }
+}
+
+/// The merged trace — every kernel-WG span and PUT instant in canonical
+/// order — is the finest-grained observable surface; byte-compare it, not
+/// just the endpoint times.
+std::string traced_embedding_run(const gpu::Machine::Config& base,
+                                 int shards) {
+  gpu::Machine::Config mc = base;
+  mc.num_shards = shards;
+  mc.collect_trace = true;
+  gpu::Machine machine(mc);
+  shmem::World world(machine);
+
+  fused::EmbeddingA2AConfig cfg;
+  cfg.map.num_pes = machine.num_pes();
+  cfg.map.tables_per_pe = 4;
+  cfg.map.global_batch = 128;
+  cfg.map.dim = 64;
+  cfg.map.vectors_per_slice = 8;
+  cfg.functional = false;
+  cfg.emit_trace = true;
+
+  fused::FusedEmbeddingAllToAll op(world, cfg, nullptr);
+  op.run_to_completion();
+  std::ostringstream json;
+  machine.merged_trace().write_chrome_json(json);
+  return json.str();
+}
+
+TEST(FusedSharded, MergedTraceMatchesSerialByteForByte) {
+  for (const auto& [label, base] :
+       {std::pair{"fc", fc_config(1)}, std::pair{"torus", torus_config(1)}}) {
+    SCOPED_TRACE(label);
+    const std::string serial = traced_embedding_run(base, 1);
+    EXPECT_FALSE(serial.empty());
+    for (const int shards : {2, 4}) {
+      EXPECT_EQ(serial, traced_embedding_run(base, shards))
+          << "shards=" << shards;
+    }
+  }
+}
+
+// Regression: on a 4x4 torus at 4 shards the node->shard map is 2x2 tiles —
+// NOT contiguous in PE order — and several PEs issue inter-node PUTs at the
+// same timestamp. The deferred-reservation replay must order those ties by
+// source PE, not by source shard; the shard-id tie-break silently shifted
+// late-PE completion times on exactly this shape.
+TEST(FusedSharded, NonContiguousTorusTilingMatchesSerial) {
+  auto run = [](int shards) {
+    gpu::Machine::Config mc;
+    mc.num_nodes = 16;
+    mc.gpus_per_node = 1;
+    mc.topology.kind = hw::TopologySpec::Kind::kTorus2D;
+    mc.topology.torus.dim_x = 4;
+    mc.topology.torus.dim_y = 4;
+    mc.num_shards = shards;
+    gpu::Machine machine(mc);
+    shmem::World world(machine);
+    fused::EmbeddingA2AConfig cfg;
+    cfg.map.num_pes = machine.num_pes();
+    cfg.map.tables_per_pe = 4;
+    cfg.map.global_batch = 16 * machine.num_pes();
+    cfg.map.dim = 64;
+    cfg.map.vectors_per_slice = 8;
+    cfg.functional = false;
+    fused::FusedEmbeddingAllToAll op(world, cfg, nullptr);
+    return op.run_to_completion();
+  };
+  const auto serial = run(1);
+  EXPECT_GT(serial.duration(), 0);
+  for (const int shards : {2, 4}) {
+    EXPECT_EQ(serial, run(shards)) << "shards=" << shards;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2. fw::Graph diamond on a sharded Session
+// ---------------------------------------------------------------------------
+
+fw::GraphResult run_diamond(const gpu::Machine::Config& mc) {
+  const fw::OpRegistry& reg = fw::OpRegistry::global();
+  // Diamond over real ops: the embedding feeds two independent middle
+  // stages (gemv + gemm) which join into the MoE dispatch.
+  fw::Graph g;
+  auto t1 = g.tensor("t1");
+  auto t2 = g.tensor("t2");
+  auto t3 = g.tensor("t3");
+  auto t4 = g.tensor("t4");
+  g.add(reg.at("fcc::embedding_a2a").smoke_spec(), {}, {t1}, "top");
+  g.add(reg.at("fcc::gemv_allreduce").smoke_spec(), {t1}, {t2}, "left");
+  g.add(reg.at("fcc::gemm_a2a").smoke_spec(), {t1}, {t3}, "right");
+  g.add(reg.at("fcc::moe_dispatch").smoke_spec(), {t2, t3}, {t4}, "join");
+
+  fw::Session session(mc);
+  return session.run(g, fw::Backend::kFused);
+}
+
+TEST(FusedSharded, GraphDiamondMatchesSerial) {
+  for (const auto& [label, serial_cfg, make] : {
+           std::tuple{"fc", fc_config(1), &fc_config},
+           std::tuple{"torus", torus_config(1), &torus_config},
+       }) {
+    SCOPED_TRACE(label);
+    const fw::GraphResult serial = run_diamond(serial_cfg);
+    ASSERT_EQ(serial.nodes.size(), 4u);
+    EXPECT_GT(serial.overlap_fraction(), 0.0);  // the sides really overlap
+    for (const int shards : {2, 4}) {
+      const fw::GraphResult sharded = run_diamond(make(shards));
+      EXPECT_EQ(sharded.makespan(), serial.makespan()) << "shards=" << shards;
+      EXPECT_EQ(sharded.critical_path_ns, serial.critical_path_ns);
+      ASSERT_EQ(sharded.nodes.size(), serial.nodes.size());
+      for (std::size_t i = 0; i < serial.nodes.size(); ++i) {
+        EXPECT_EQ(sharded.nodes[i].result, serial.nodes[i].result)
+            << "shards=" << shards << " node " << serial.nodes[i].label;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Warm sharded serving determinism
+// ---------------------------------------------------------------------------
+
+serve::ServeReport serve_once(const gpu::Machine::Config& mc, int repeats) {
+  gpu::Machine machine(mc);
+  shmem::World world(machine);
+  auto catalog = serve::default_catalog(machine.num_pes());
+  const auto weights = serve::class_weights(catalog);
+  serve::Simulator sim(machine, world, std::move(catalog));
+  const auto trace = serve::poisson_trace(4e4, 80, 99, weights);
+
+  serve::ServeReport report = sim.run(trace);
+  for (int rep = 1; rep < repeats; ++rep) {
+    const serve::ServeReport again = sim.run(trace);
+    EXPECT_EQ(again.records, report.records) << "warm repeat " << rep;
+    EXPECT_EQ(again.overall, report.overall) << "warm repeat " << rep;
+  }
+  EXPECT_EQ(machine.sharded().live_tasks(), 0);
+  return report;
+}
+
+TEST(FusedSharded, WarmShardedServeIsDeterministicAndMatchesSerial) {
+  const serve::ServeReport serial = serve_once(fc_config(1), /*repeats=*/1);
+  EXPECT_GT(serial.overall.completed, 0);
+  for (const int shards : {2, 4}) {
+    const serve::ServeReport sharded = serve_once(fc_config(shards),
+                                                  /*repeats=*/2);
+    EXPECT_EQ(sharded.records, serial.records) << "shards=" << shards;
+    EXPECT_EQ(sharded.overall, serial.overall) << "shards=" << shards;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Capability check
+// ---------------------------------------------------------------------------
+
+TEST(FusedSharded, SimulatorRejectsLaunchLatencyBelowLookahead) {
+  gpu::Machine::Config mc = fc_config(2);
+  // Lookahead on the fully-connected fabric is per_msg_proc + wire; drop
+  // the kernel-launch latency below it so per-PE spawns would violate the
+  // window.
+  mc.gpu.kernel_launch_ns = mc.ib.per_msg_proc_ns + mc.ib.wire_latency_ns - 1;
+  gpu::Machine machine(mc);
+  EXPECT_FALSE(machine.supports_fused_ops());
+  shmem::World world(machine);
+  auto catalog = serve::default_catalog(machine.num_pes());
+  try {
+    serve::Simulator sim(machine, world, std::move(catalog));
+    FAIL() << "expected the capability check to fire";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("kernel_launch_ns"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("conservative lookahead"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("num_shards=1"), std::string::npos) << msg;
+  }
+  // Serial machines never hit the check, whatever the launch latency.
+  mc.num_shards = 1;
+  gpu::Machine serial(mc);
+  EXPECT_TRUE(serial.supports_fused_ops());
+}
+
+}  // namespace
+}  // namespace fcc

@@ -265,7 +265,8 @@ class StuckOp final : public FusedOp {
     const int pes = world_.n_pes();
     gate_.reset(engine(), pes, 2);
     begin_run(pes);
-    co_await run_per_pe(pes, [this](PeId pe) { return pe_body(pe); });
+    co_await run_per_pe_at(engine().now(), pes,
+                           [this](PeId pe) { return pe_body(pe); });
     finish_run_uniform();
   }
   void unstick() { gate_->set(0, 1, 3); }

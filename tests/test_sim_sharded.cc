@@ -219,13 +219,23 @@ TEST(ShardConfig, RejectsZeroCrossShardLookahead) {
   EXPECT_THROW(gpu::Machine m(cfg), std::logic_error);
 }
 
-TEST(ShardConfig, RejectsTraceCollectionWhileSharded) {
+TEST(ShardConfig, TraceCollectionWhileShardedUsesPerShardBuffers) {
+  // Sharded tracing: each shard thread writes its own buffer (trace_of),
+  // and merged_trace() exposes the canonical sorted view.
   gpu::Machine::Config cfg;
   cfg.num_nodes = 2;
   cfg.gpus_per_node = 1;
   cfg.num_shards = 2;
   cfg.collect_trace = true;
-  EXPECT_THROW(gpu::Machine m(cfg), std::logic_error);
+  gpu::Machine m(cfg);
+  EXPECT_TRUE(m.trace_of(0).enabled());
+  EXPECT_TRUE(m.trace_of(1).enabled());
+  m.trace_of(0).add_instant({"a", "test", 0, 0, 20});
+  m.trace_of(1).add_instant({"b", "test", 1, 0, 10});
+  const sim::Trace merged = m.merged_trace();
+  ASSERT_EQ(merged.instants().size(), 2u);
+  EXPECT_EQ(merged.instants()[0].name, "b");  // sorted by time
+  EXPECT_EQ(merged.instants()[1].name, "a");
 }
 
 TEST(ShardConfig, DefaultTorusPartitionIsNodeAlignedTiling) {
